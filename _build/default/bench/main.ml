@@ -1,0 +1,97 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (printed as text tables/series), then times the
+   pipeline's building blocks with Bechamel.
+
+   Usage:
+     bench/main.exe                 run everything
+     bench/main.exe T4 F8 ...       run selected experiments
+     bench/main.exe --no-micro      skip the Bechamel microbenchmarks *)
+
+open Estima_machine
+open Estima_sim
+open Estima_workloads
+open Estima_counters
+open Estima
+
+let microbenchmarks () =
+  let open Bechamel in
+  let xs = Array.init 12 (fun i -> float_of_int (i + 1)) in
+  let ys = Array.map (fun x -> 1e6 *. (2.0 +. (6.0 *. x /. (x +. 8.0)))) xs in
+  let fit_test kernel =
+    Test.make ~name:("fit-" ^ kernel.Estima_kernels.Kernel.name)
+      (Staged.stage (fun () -> ignore (Estima_kernels.Fit.fit kernel ~xs ~ys)))
+  in
+  let approximation_test =
+    Test.make ~name:"approximation-full-selection"
+      (Staged.stage (fun () ->
+           ignore (Approximation.approximate ~xs ~ys ~target_max:48.0 ~require_nonnegative:true ())))
+  in
+  let engine_test =
+    let spec = Stamp.genome in
+    Test.make ~name:"simulator-genome-8-threads"
+      (Staged.stage (fun () -> ignore (Engine.run ~seed:3 ~machine:Machines.opteron48 ~spec ~threads:8 ())))
+  in
+  let predict_test =
+    let entry = Option.get (Suite.find "intruder") in
+    let series =
+      Collector.collect
+        ~options:{ Collector.default_options with Collector.seed = 9; plugins = entry.Suite.plugins; repetitions = 1 }
+        ~machine:(Machines.restrict_sockets Machines.opteron48 ~sockets:1)
+        ~spec:entry.Suite.spec
+        ~thread_counts:(Collector.default_thread_counts ~max:12)
+        ()
+    in
+    Test.make ~name:"predictor-intruder-12-to-48"
+      (Staged.stage (fun () ->
+           ignore
+             (Predictor.predict
+                ~config:{ Predictor.default_config with Predictor.include_software = true }
+                ~series ~target_max:48 ())))
+  in
+  let tests =
+    Test.make_grouped ~name:"estima"
+      (List.map fit_test Estima_kernels.Catalogue.all
+      @ [ approximation_test; engine_test; predict_test ])
+  in
+  let benchmark () =
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) () in
+    Benchmark.all cfg instances tests
+  in
+  let analyze results =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Toolkit.Instance.monotonic_clock results
+  in
+  Printf.printf "\n";
+  Estima_repro.Render.heading "[BENCH] Bechamel microbenchmarks (monotonic clock)";
+  let results = analyze (benchmark ()) in
+  Hashtbl.iter
+    (fun name ols ->
+      match Bechamel.Analyze.OLS.estimates ols with
+      | Some [ estimate ] -> Printf.printf "%-36s %12.1f ns/run\n" name estimate
+      | _ -> Printf.printf "%-36s (no estimate)\n" name)
+    results;
+  flush stdout
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let micro = not (List.mem "--no-micro" args) in
+  let ids = List.filter (fun a -> a <> "--no-micro") args in
+  let t0 = Unix.gettimeofday () in
+  (match ids with
+  | [] -> Estima_repro.All.run_all ()
+  | ids ->
+      List.iter
+        (fun id ->
+          match Estima_repro.All.run_one id with
+          | Ok () -> ()
+          | Error msg ->
+              prerr_endline msg;
+              exit 1)
+        ids);
+  let hits, misses = Estima_repro.Lab.cache_stats () in
+  Printf.printf "\n[reproduction complete in %.0f s; measurement cache: %d hits, %d sweeps]\n%!"
+    (Unix.gettimeofday () -. t0) hits misses;
+  if micro then microbenchmarks ()

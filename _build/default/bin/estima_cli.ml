@@ -1,0 +1,283 @@
+(* The estima command-line tool.
+
+   Subcommands:
+     list                      workloads and machines
+     collect                   print a measurement series
+     predict                   measure on a small machine, predict a big one
+     compare                   ESTIMA vs time extrapolation vs ground truth
+     bottleneck                rank future stall categories
+     repro                     run one or all paper experiments *)
+
+open Cmdliner
+open Estima_machine
+open Estima_workloads
+open Estima_counters
+open Estima
+
+let machine_conv =
+  let parse s =
+    match Machines.find s with
+    | Some m -> Ok m
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown machine %S (known: %s)" s
+                (String.concat ", " (List.map (fun m -> m.Topology.name) Machines.all))))
+  in
+  let print ppf m = Format.fprintf ppf "%s" m.Topology.name in
+  Arg.conv (parse, print)
+
+let entry_conv =
+  let parse s =
+    match Suite.find s with
+    | Some e -> Ok e
+    | None ->
+        Error
+          (`Msg (Printf.sprintf "unknown workload %S (see `estima_cli list`)" s))
+  in
+  let print ppf e = Format.fprintf ppf "%s" e.Suite.spec.Estima_sim.Spec.name in
+  Arg.conv (parse, print)
+
+let workload_arg =
+  Arg.(required & pos 0 (some entry_conv) None & info [] ~docv:"WORKLOAD" ~doc:"Workload name.")
+
+let machine_arg ~default names doc =
+  Arg.(value & opt machine_conv default & info names ~docv:"MACHINE" ~doc)
+
+let sockets_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "sockets" ] ~docv:"N" ~doc:"Restrict the measurements machine to its first $(docv) sockets.")
+
+let window_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "window"; "w" ] ~docv:"CORES"
+        ~doc:"Highest core count measured (defaults to the measurements machine's cores).")
+
+let software_arg =
+  Arg.(
+    value & flag
+    & info [ "software"; "s" ]
+        ~doc:"Include software stalled cycles (SwissTM statistics / pthread wrapper) when available.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Simulation seed.")
+
+let reps_arg =
+  Arg.(value & opt int 5 & info [ "repetitions" ] ~docv:"N" ~doc:"Averaged runs per measured point.")
+
+let restrict machine = function
+  | None -> machine
+  | Some sockets -> Machines.restrict_sockets machine ~sockets
+
+let collect_series ~entry ~machine ~max_threads ~seed ~repetitions =
+  Collector.collect
+    ~options:{ Collector.default_options with Collector.seed; plugins = entry.Suite.plugins; repetitions }
+    ~machine ~spec:entry.Suite.spec
+    ~thread_counts:(Collector.default_thread_counts ~max:max_threads)
+    ()
+
+(* ---------------------------- list ------------------------------- *)
+
+let list_cmd =
+  let run () =
+    Printf.printf "machines:\n";
+    List.iter (fun m -> Format.printf "  %a@." Topology.pp m) Machines.all;
+    Printf.printf "\nworkloads:\n";
+    List.iter
+      (fun e ->
+        Printf.printf "  %-24s %-12s %s\n" e.Suite.spec.Estima_sim.Spec.name
+          (Suite.family_label e.Suite.family)
+          (String.concat ", " (List.map (fun p -> p.Plugin.name) e.Suite.plugins)))
+      Suite.all;
+    Printf.printf "\npaper experiments: %s\n"
+      (String.concat ", " (List.map fst Estima_repro.All.experiments))
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List workloads, machines and experiments.")
+    Term.(const run $ const ())
+
+(* --------------------------- collect ------------------------------ *)
+
+let csv_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"PATH" ~doc:"Additionally write the series as CSV to $(docv).")
+
+let plugin_config_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "plugin-config" ] ~docv:"FILE"
+        ~doc:
+          "Plugin configuration file (paper Section 4.1): stanzas of name/source/expression/combine            applied to the runtime's report.")
+
+let collect_cmd =
+  let run entry machine sockets window seed reps csv plugin_config =
+    let machine = restrict machine sockets in
+    let max_threads = Option.value ~default:(Topology.cores machine) window in
+    let config_plugins =
+      match plugin_config with
+      | None -> []
+      | Some path -> (
+          match Plugin_config.load ~path with
+          | Ok entries -> entries
+          | Error e ->
+              prerr_endline ("plugin config: " ^ e);
+              exit 1)
+    in
+    let series =
+      Collector.collect
+        ~options:
+          { Collector.seed; plugins = entry.Suite.plugins; config_plugins; repetitions = reps }
+        ~machine ~spec:entry.Suite.spec
+        ~thread_counts:(Collector.default_thread_counts ~max:max_threads)
+        ()
+    in
+    let categories = Series.categories series ~include_frontend:true in
+    Format.printf "%s on %a@." entry.Suite.spec.Estima_sim.Spec.name Topology.pp machine;
+    Printf.printf "%-8s %-12s %s\n" "cores" "time(s)" (String.concat " " categories);
+    Array.iter
+      (fun (s : Sample.t) ->
+        Printf.printf "%-8d %-12.5f %s\n" s.Sample.threads s.Sample.time_seconds
+          (String.concat " " (List.map (fun c -> Printf.sprintf "%.3g" (Sample.counter s c)) categories)))
+      series.Series.samples;
+    match csv with
+    | None -> ()
+    | Some path ->
+        Csv_export.write ~path (Csv_export.series_to_csv series);
+        Printf.printf "wrote %s\n" path
+  in
+  Cmd.v (Cmd.info "collect" ~doc:"Collect and print a measurement series.")
+    Term.(
+      const run $ workload_arg
+      $ machine_arg ~default:Machines.opteron48 [ "machine"; "m" ] "Machine to measure on."
+      $ sockets_arg $ window_arg $ seed_arg $ reps_arg $ csv_arg $ plugin_config_arg)
+
+(* --------------------------- predict ------------------------------ *)
+
+let predict_cmd =
+  let run entry measure_machine sockets window target software seed reps =
+    let measure_machine = restrict measure_machine sockets in
+    let max_threads = Option.value ~default:(Topology.cores measure_machine) window in
+    let series = collect_series ~entry ~machine:measure_machine ~max_threads ~seed ~repetitions:reps in
+    let config =
+      {
+        Predictor.default_config with
+        Predictor.include_software = software && entry.Suite.plugins <> [];
+        frequency_scale = Frequency.time_scale ~measured_on:measure_machine ~target;
+      }
+    in
+    let prediction = Predictor.predict ~config ~series ~target_max:(Topology.cores target) () in
+    Format.printf "%a@.@." Predictor.pp_summary prediction;
+    Printf.printf "cores  predicted-time(s)  stalls/core\n";
+    Array.iteri
+      (fun i n ->
+        Printf.printf "%5.0f  %17.5f  %.4g\n" n prediction.Predictor.predicted_times.(i)
+          prediction.Predictor.stalls_per_core.(i))
+      prediction.Predictor.target_grid;
+    let verdict =
+      Error.scaling_verdict ~times:prediction.Predictor.predicted_times
+        ~grid:prediction.Predictor.target_grid ()
+    in
+    Printf.printf "\nprediction: the application %s\n" (Error.verdict_to_string verdict)
+  in
+  Cmd.v
+    (Cmd.info "predict" ~doc:"Measure on a small machine and predict a larger one.")
+    Term.(
+      const run $ workload_arg
+      $ machine_arg ~default:(Machines.restrict_sockets Machines.opteron48 ~sockets:1)
+          [ "machine"; "m" ] "Measurements machine."
+      $ sockets_arg $ window_arg
+      $ machine_arg ~default:Machines.opteron48 [ "target"; "t" ] "Target machine."
+      $ software_arg $ seed_arg $ reps_arg)
+
+(* --------------------------- compare ------------------------------ *)
+
+let compare_cmd =
+  let run entry target software seed reps =
+    ignore software;
+    let setup =
+      {
+        (Experiment.default_setup ~entry
+           ~measure_machine:(Machines.restrict_sockets target ~sockets:1)
+           ~target_machine:target)
+        with
+        Experiment.seed;
+        repetitions = reps;
+        config = { Predictor.default_config with Predictor.include_software = entry.Suite.plugins <> [] };
+      }
+    in
+    let o = Experiment.run setup in
+    let truth = Series.times o.Experiment.truth in
+    Printf.printf "cores  estima(s)  time-extrap(s)  measured(s)\n";
+    Array.iteri
+      (fun i n ->
+        Printf.printf "%5.0f  %9.5f  %14.5f  %11.5f\n" n
+          o.Experiment.prediction.Predictor.predicted_times.(i)
+          o.Experiment.time_baseline.Time_extrapolation.predicted_times.(i)
+          truth.(i))
+      o.Experiment.prediction.Predictor.target_grid;
+    Printf.printf "\nESTIMA:      max error %.1f%%, verdict %s (%s)\n"
+      (100.0 *. o.Experiment.error.Error.max_error)
+      (Error.verdict_to_string o.Experiment.error.Error.predicted_verdict)
+      (if o.Experiment.error.Error.verdict_agrees then "correct" else "wrong");
+    Printf.printf "time-extrap: max error %.1f%%, verdict %s (%s)\n"
+      (100.0 *. o.Experiment.baseline_error.Error.max_error)
+      (Error.verdict_to_string o.Experiment.baseline_error.Error.predicted_verdict)
+      (if o.Experiment.baseline_error.Error.verdict_agrees then "correct" else "wrong");
+    Printf.printf "measured:    %s\n" (Error.verdict_to_string o.Experiment.error.Error.measured_verdict)
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"ESTIMA vs time extrapolation vs ground truth on one machine.")
+    Term.(
+      const run $ workload_arg
+      $ machine_arg ~default:Machines.opteron48 [ "target"; "t" ] "Machine (measure 1 socket, predict all)."
+      $ software_arg $ seed_arg $ reps_arg)
+
+(* -------------------------- bottleneck ---------------------------- *)
+
+let bottleneck_cmd =
+  let run entry target sockets window seed reps =
+    let measure_machine = restrict target (Some (Option.value ~default:1 sockets)) in
+    let max_threads = Option.value ~default:(Topology.cores measure_machine) window in
+    let series = collect_series ~entry ~machine:measure_machine ~max_threads ~seed ~repetitions:reps in
+    let prediction =
+      Predictor.predict
+        ~config:{ Predictor.default_config with Predictor.include_software = true }
+        ~series ~target_max:(Topology.cores target) ()
+    in
+    Format.printf "%a@." Bottleneck.pp (Bottleneck.analyze prediction)
+  in
+  Cmd.v
+    (Cmd.info "bottleneck" ~doc:"Rank the stall categories that will dominate at scale.")
+    Term.(
+      const run $ workload_arg
+      $ machine_arg ~default:Machines.opteron48 [ "target"; "t" ] "Target machine."
+      $ sockets_arg $ window_arg $ seed_arg $ reps_arg)
+
+(* ---------------------------- repro ------------------------------- *)
+
+let repro_cmd =
+  let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (all if omitted).") in
+  let run = function
+    | [] -> Estima_repro.All.run_all ()
+    | ids ->
+        List.iter
+          (fun id ->
+            match Estima_repro.All.run_one id with
+            | Ok () -> ()
+            | Error msg ->
+                prerr_endline msg;
+                exit 1)
+          ids
+  in
+  Cmd.v (Cmd.info "repro" ~doc:"Run paper experiments (see `estima_cli list` for ids).")
+    Term.(const run $ ids)
+
+let () =
+  let doc = "extrapolating scalability of in-memory applications" in
+  let info = Cmd.info "estima_cli" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; collect_cmd; predict_cmd; compare_cmd; bottleneck_cmd; repro_cmd ]))

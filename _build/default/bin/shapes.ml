@@ -1,0 +1,41 @@
+(* Developer tool: print raw simulator scalability curves for every
+   workload, to sanity-check profiles against the published behaviour. *)
+
+open Estima_machine
+open Estima_sim
+open Estima_workloads
+
+let counts = [ 1; 2; 4; 8; 12; 16; 24; 32; 40; 48 ]
+
+let () =
+  let machine =
+    match Sys.argv with
+    | [| _; name |] -> (
+        match Machines.find name with
+        | Some m -> m
+        | None -> failwith ("unknown machine " ^ name))
+    | _ -> Machines.opteron48
+  in
+  let max_threads = Topology.hardware_threads machine in
+  Printf.printf "machine: %s\n%!" machine.Topology.name;
+  Printf.printf "%-24s %s\n" "workload"
+    (String.concat " " (List.map (fun n -> Printf.sprintf "%8d" n) (List.filter (fun n -> n <= max_threads) counts)));
+  List.iter
+    (fun entry ->
+      let spec = entry.Suite.spec in
+      let t1 = ref None in
+      let cells =
+        List.filter_map
+          (fun n ->
+            if n > max_threads then None
+            else begin
+              let r = Engine.run ~seed:11 ~machine ~spec ~threads:n () in
+              let t = r.Engine.time_seconds in
+              (match !t1 with None -> t1 := Some t | Some _ -> ());
+              let base = Option.get !t1 in
+              Some (Printf.sprintf "%8.2f" (base /. t))
+            end)
+          counts
+      in
+      Printf.printf "%-24s %s\n%!" spec.Spec.name (String.concat " " cells))
+    Suite.all

@@ -1,0 +1,43 @@
+(* Future-bottleneck identification (paper Section 4.6): extrapolate a
+   poorly scaling application with software stalls enabled, rank the
+   predicted stall categories at the target core count, and follow the
+   dominant category's code-site hint.  Then verify that the suggested fix
+   actually helps on the large machine.
+
+   Run with:  dune exec examples/bottleneck_hunt.exe *)
+
+open Estima_machine
+open Estima_sim
+open Estima_workloads
+open Estima_counters
+open Estima
+
+let hunt name fixed_name =
+  let entry = Option.get (Suite.find name) in
+  let measurements_machine = Machines.restrict_sockets Machines.opteron48 ~sockets:1 in
+  let series =
+    Collector.collect
+      ~options:{ Collector.default_options with Collector.seed = 42; plugins = entry.Suite.plugins; repetitions = 5 }
+      ~machine:measurements_machine ~spec:entry.Suite.spec
+      ~thread_counts:(Collector.default_thread_counts ~max:12)
+      ()
+  in
+  let prediction =
+    Predictor.predict
+      ~config:{ Predictor.default_config with Predictor.include_software = true }
+      ~series ~target_max:48 ()
+  in
+  Format.printf "== %s ==@.%a@." name Bottleneck.pp (Bottleneck.analyze prediction);
+  (* Apply the fix and compare on the full machine. *)
+  let fixed = Option.get (Suite.find fixed_name) in
+  let time spec threads =
+    (Engine.run ~seed:7 ~machine:Machines.opteron48 ~spec ~threads ()).Engine.time_seconds
+  in
+  let original_time = time entry.Suite.spec 48 and fixed_time = time fixed.Suite.spec 48 in
+  Format.printf "fix '%s' at 48 cores: %.4fs -> %.4fs (%.0f%% faster)@.@." fixed_name original_time
+    fixed_time
+    (100.0 *. (1.0 -. (fixed_time /. original_time)))
+
+let () =
+  hunt "streamcluster" "streamcluster-spinlock";
+  hunt "intruder" "intruder-batched"

@@ -1,0 +1,51 @@
+(* Bringing your own application: describe its per-operation behaviour as
+   a Spec (the role the real ESTIMA delegates to your binary plus perf
+   counters), then predict its scalability like any built-in workload.
+
+   The example models a hypothetical in-memory analytics service: mostly
+   parallel scans over a large shared dataset with a striped-locked index
+   update on a fraction of operations.
+
+   Run with:  dune exec examples/custom_workload.exe *)
+
+open Estima_machine
+open Estima_sim
+open Estima_workloads
+open Estima_counters
+open Estima
+
+let analytics_service =
+  Profile.make ~name:"analytics-service" ~total_ops:40_000 ~useful_cycles:550.0 ~useful_cv:0.1
+    ~mem_reads:14 ~mem_writes:2 ~shared_fraction:0.65 ~write_shared_fraction:0.05 ~fp_fraction:0.3
+    ~private_footprint_lines:2_048 ~shared_footprint_lines:400_000 ~branch_mpki:1.5
+    ~sync:(Spec.Locked { kind = Spec.Mutex; num_locks = 32; cs_cycles = 150.0; cs_mem_accesses = 2 })
+    ()
+
+let () =
+  (match Spec.validate analytics_service with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  let measurements_machine = Machines.restrict_sockets Machines.opteron48 ~sockets:1 in
+  let series =
+    Collector.collect
+      ~options:{ Collector.default_options with Collector.seed = 42; plugins = [ Plugin.pthread_wrapper ]; repetitions = 5 }
+      ~machine:measurements_machine ~spec:analytics_service
+      ~thread_counts:(Collector.default_thread_counts ~max:12)
+      ()
+  in
+  let prediction =
+    Predictor.predict
+      ~config:{ Predictor.default_config with Predictor.include_software = true }
+      ~series ~target_max:48 ()
+  in
+  Format.printf "%a@.@." Predictor.pp_summary prediction;
+  let spc = prediction.Predictor.stalls_per_core in
+  let times = prediction.Predictor.predicted_times in
+  Format.printf "cores  stalls/core  predicted time@.";
+  List.iter
+    (fun n -> Format.printf "%5d  %11.3e  %.4f s@." n spc.(n - 1) times.(n - 1))
+    [ 1; 8; 16; 24; 32; 40; 48 ];
+  let verdict =
+    Error.scaling_verdict ~times ~grid:prediction.Predictor.target_grid ()
+  in
+  Format.printf "@.deployment advice: the service %s@." (Error.verdict_to_string verdict)

@@ -1,0 +1,61 @@
+(* Quickstart: predict the scalability of one workload in five steps.
+
+   1. pick a workload and a measurements machine (one Opteron processor),
+   2. collect stalled-cycle counters and execution times at 1..12 cores,
+   3. run the ESTIMA predictor targeting the full 48-core machine,
+   4. print the predicted execution-time curve,
+   5. validate against a ground-truth sweep of the target machine.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Estima_machine
+open Estima_workloads
+open Estima_counters
+open Estima
+
+let () =
+  (* 1. the workload and the machines *)
+  let entry = Option.get (Suite.find "vacation-low") in
+  let measurements_machine = Machines.restrict_sockets Machines.opteron48 ~sockets:1 in
+  let target_machine = Machines.opteron48 in
+
+  (* 2. measurement collection (step A of the paper's Figure 3) *)
+  let series =
+    Collector.collect
+      ~options:{ Collector.default_options with Collector.seed = 42; plugins = entry.Suite.plugins; repetitions = 5 }
+      ~machine:measurements_machine ~spec:entry.Suite.spec
+      ~thread_counts:(Collector.default_thread_counts ~max:12)
+      ()
+  in
+  Format.printf "measured %s at 1..12 cores on %a@." entry.Suite.spec.Estima_sim.Spec.name
+    Topology.pp measurements_machine;
+
+  (* 3. prediction (steps B and C) *)
+  let config = { Predictor.default_config with Predictor.include_software = true } in
+  let prediction = Predictor.predict ~config ~series ~target_max:(Topology.cores target_machine) () in
+  Format.printf "%a@.@." Predictor.pp_summary prediction;
+
+  (* 4. the predicted curve *)
+  Format.printf "cores  predicted time@.";
+  Array.iteri
+    (fun i n ->
+      if (i + 1) mod 6 = 0 || i = 0 then
+        Format.printf "%5.0f  %.4f s@." n prediction.Predictor.predicted_times.(i))
+    prediction.Predictor.target_grid;
+
+  (* 5. validation *)
+  let truth =
+    Collector.collect
+      ~options:{ Collector.default_options with Collector.seed = 1042; plugins = entry.Suite.plugins; repetitions = 5 }
+      ~machine:target_machine ~spec:entry.Suite.spec
+      ~thread_counts:(Collector.default_thread_counts ~max:48)
+      ()
+  in
+  let error =
+    Error.evaluate ~predicted:prediction.Predictor.predicted_times ~measured:(Series.times truth)
+      ~target_grid:prediction.Predictor.target_grid ()
+  in
+  Format.printf "@.max error %.1f%%; prediction says %s, machine says %s@."
+    (100.0 *. error.Error.max_error)
+    (Error.verdict_to_string error.Error.predicted_verdict)
+    (Error.verdict_to_string error.Error.measured_verdict)

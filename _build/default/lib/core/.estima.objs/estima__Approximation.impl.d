@@ -1,0 +1,1 @@
+lib/core/approximation.ml: Array Catalogue Estima_kernels Estima_numerics Fit Float Linear_fit List Qr Stats Vec

@@ -1,0 +1,1 @@
+lib/core/approximation.mli: Estima_kernels Fit Kernel

@@ -1,0 +1,1 @@
+lib/core/bottleneck.ml: Array Extrapolation Format List Option Predictor

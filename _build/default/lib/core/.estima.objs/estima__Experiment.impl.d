@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Collector Error Estima_counters Estima_machine Estima_workloads Float Frequency List Option Predictor Series Suite Time_extrapolation Topology

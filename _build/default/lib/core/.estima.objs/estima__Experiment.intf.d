@@ -1,0 +1,1 @@
+lib/core/experiment.mli: Error Estima_counters Estima_machine Estima_workloads Predictor Series Suite Time_extrapolation Topology

@@ -1,0 +1,1 @@
+lib/core/extrapolation.ml: Approximation Array Estima_counters Estima_kernels Fit Float List Printf Sample Series Stdlib String

@@ -1,0 +1,1 @@
+lib/core/extrapolation.mli: Approximation Estima_counters Series

@@ -1,0 +1,1 @@
+lib/core/predictor.ml: Approximation Array Estima_counters Estima_kernels Estima_machine Extrapolation Fit Float Format List Scaling_factor Series

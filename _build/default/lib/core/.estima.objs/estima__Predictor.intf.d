@@ -1,0 +1,1 @@
+lib/core/predictor.mli: Approximation Estima_counters Extrapolation Format Scaling_factor Series

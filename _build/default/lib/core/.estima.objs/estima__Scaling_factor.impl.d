@@ -1,0 +1,1 @@
+lib/core/scaling_factor.ml: Approximation Array Catalogue Estima_kernels Estima_numerics Fit Float List Stats Vec

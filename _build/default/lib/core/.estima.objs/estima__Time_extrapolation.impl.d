@@ -1,0 +1,1 @@
+lib/core/time_extrapolation.ml: Approximation Array Estima_kernels Fit Stdlib

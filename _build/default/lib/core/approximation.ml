@@ -1,0 +1,195 @@
+open Estima_numerics
+open Estima_kernels
+
+type config = { checkpoints : int; min_prefix : int }
+
+let default_config = { checkpoints = 4; min_prefix = 3 }
+
+type choice = { fitted : Fit.fitted; prefix : int; checkpoint_rmse : float }
+
+(* Candidates whose checkpoint RMSEs differ by less than this relative
+   margin are statistically indistinguishable; the full-series fit decides
+   between them. *)
+let tie_margin = 0.10
+
+let fallback_kernel_name = "PolyFallback"
+
+let checkpoint_indices ~m ~c = List.init c (fun i -> m - c + i)
+
+let sub_prefix arr n = Array.sub arr 0 n
+
+let fit_prefix kernel ~xs ~ys ~prefix =
+  if prefix > Array.length xs then invalid_arg "Approximation.fit_prefix: prefix too long";
+  Fit.fit kernel ~xs:(sub_prefix xs prefix) ~ys:(sub_prefix ys prefix)
+
+(* Short-series / last-resort fallback: least-squares polynomials of
+   decreasing degree on all points; the degree-0 fit (the mean of
+   non-negative data) is always realistic, so the chain cannot fail on
+   stall measurements. *)
+let fallback ?(extra_ok = fun (_ : Fit.fitted) -> true) ~xs ~ys ~target_max ~require_nonnegative () =
+  let m = Array.length xs in
+  let try_degree ~gated degree =
+    match Linear_fit.polynomial ~degree ~xs ~ys with
+    | exception Qr.Singular -> None
+    | coeffs ->
+        let eval x = Linear_fit.eval_polynomial coeffs x in
+        (* y_scale records the data magnitude so the realism explosion
+           bound is scale-correct (the coefficients here are unscaled). *)
+        let fitted =
+          {
+            Fit.kernel_name = fallback_kernel_name;
+            params = coeffs;
+            y_scale = Float.max 1.0 (Vec.norm_inf ys);
+            fit_rmse = Stats.rmse (Array.map eval xs) ys;
+            eval;
+          }
+        in
+        if
+          Fit.realistic fitted ~x_min:1.0 ~x_max:target_max ~require_nonnegative
+          && ((not gated) || extra_ok fitted)
+        then Some { fitted; prefix = m; checkpoint_rmse = fitted.Fit.fit_rmse }
+        else None
+  in
+  let rec chain ~gated = function
+    | [] -> None
+    | d :: rest -> (
+        match try_degree ~gated d with Some _ as r -> r | None -> chain ~gated rest)
+  in
+  (* Quadratic fallbacks only serve very short series (the memcached-style
+     3-4 point case); on longer series a quadratic extrapolated 4x past its
+     data is exactly the Figure 1 failure mode, so the chain is capped at
+     linear there. *)
+  let degrees = List.filter (fun d -> d <= min 1 (m - 1)) [ 1; 0 ] in
+  let degrees = if m <= 4 then List.filter (fun d -> d <= m - 1) [ 2; 1; 0 ] else degrees in
+  match chain ~gated:true degrees with
+  | Some _ as r -> r
+  | None ->
+      (* Last resort: the constant mean, accepted unconditionally — every
+         category must contribute something to the stall total. *)
+      chain ~gated:false [ 0 ]
+
+let approximate ?(config = default_config) ~xs ~ys ~target_max ~require_nonnegative () =
+  let m = Array.length xs in
+  if m = 0 || m <> Array.length ys then invalid_arg "Approximation.approximate: bad input";
+  if config.checkpoints <= 0 || config.min_prefix < 2 then
+    invalid_arg "Approximation.approximate: bad config";
+  let n = m - config.checkpoints in
+  if n < config.min_prefix then fallback ~xs ~ys ~target_max ~require_nonnegative ()
+  else begin
+    let checkpoint_xs = Array.sub xs n config.checkpoints in
+    let checkpoint_ys = Array.sub ys n config.checkpoints in
+
+    let best = ref None in
+    let full_rmse choice = Stats.rmse (Array.map choice.fitted.Fit.eval xs) ys in
+    let consider choice =
+      match !best with
+      | None -> best := Some (choice, full_rmse choice)
+      | Some (b, b_full) ->
+          let near_tie =
+            Float.abs (choice.checkpoint_rmse -. b.checkpoint_rmse)
+            <= tie_margin *. Float.max b.checkpoint_rmse 1e-300
+          in
+          if near_tie then begin
+            let full = full_rmse choice in
+            if full < b_full then best := Some (choice, full)
+          end
+          else if choice.checkpoint_rmse < b.checkpoint_rmse then
+            best := Some (choice, full_rmse choice)
+    in
+    (* Growth cap, anchored to the data: extrapolated growth from the
+       window to the target may not exceed the growth rate observed over
+       the window's own tail, compounded per core-count doubling, with a
+       1.5x slack — plus an absolute (target/window)^3 outer bound.  A
+       category that was flat through the window cannot suddenly grow
+        15-fold; one already bending upward (the trends ESTIMA exists to
+       catch) earns proportionally more room. *)
+    let window = xs.(m - 1) in
+    let window_scale = Float.max (Vec.norm_inf ys) 1e-12 in
+    let half_index =
+      let target = window /. 2.0 in
+      let best = ref 0 in
+      Array.iteri
+        (fun i x -> if Float.abs (x -. target) < Float.abs (xs.(!best) -. target) then best := i)
+        xs;
+      !best
+    in
+    let tail_growth =
+      Float.max 1.0 (ys.(m - 1) /. Float.max ys.(half_index) (0.01 *. window_scale))
+    in
+    let doublings = Float.max 1.0 (log (target_max /. window) /. log 2.0) in
+    let growth_cap =
+      Float.min
+        (Float.pow (target_max /. window) 3.0)
+        (1.5 *. Float.pow tail_growth doublings)
+    in
+    let plausible_growth (fitted : Fit.fitted) =
+      let at_window = Float.max (Float.abs ys.(m - 1)) (0.01 *. window_scale) in
+      let at_target = fitted.Fit.eval target_max in
+      Float.abs at_target <= growth_cap *. at_window
+      (* Trend consistency: a tail that is clearly rising cannot be
+         extrapolated by a function that falls back below the window value
+         — that contradicts the data it was fitted on. *)
+      && (tail_growth < 1.2 || at_target >= 0.8 *. ys.(m - 1))
+    in
+    (* Slope gate: the extrapolation must leave the window in the measured
+       direction and at a comparable rate.  The measured tail slope is the
+       least-squares slope of the last few points; the candidate's launch
+       slope is a centred difference at the window. *)
+    let tail_slope =
+      let k = min 4 m in
+      let txs = Array.sub xs (m - k) k and tys = Array.sub ys (m - k) k in
+      match Linear_fit.polynomial ~degree:1 ~xs:txs ~ys:tys with
+      | exception Qr.Singular -> 0.0
+      | c -> c.(1)
+    in
+    let slope_ok (fitted : Fit.fitted) =
+      let h = 0.5 in
+      let launch = (fitted.Fit.eval (window +. h) -. fitted.Fit.eval (window -. h)) /. (2.0 *. h) in
+      let flat_band = 0.02 *. window_scale in
+      if Float.abs tail_slope <= flat_band then
+        (* Flat tail: the candidate may not launch steeply either way. *)
+        Float.abs launch <= 2.0 *. flat_band
+      else if tail_slope > 0.0 then launch >= 0.3 *. tail_slope
+      else launch <= 0.3 *. tail_slope
+    in
+    for prefix = config.min_prefix to n do
+      List.iter
+        (fun kernel ->
+          match fit_prefix kernel ~xs ~ys ~prefix with
+          | None -> ()
+          | Some fitted ->
+              if
+                Fit.realistic fitted ~x_min:1.0 ~x_max:target_max ~require_nonnegative
+                && plausible_growth fitted && slope_ok fitted
+              then begin
+                let predicted = Array.map fitted.Fit.eval checkpoint_xs in
+                if Vec.all_finite predicted then
+                  consider { fitted; prefix; checkpoint_rmse = Stats.rmse predicted checkpoint_ys }
+              end)
+        Catalogue.all
+    done;
+    (match !best with
+    | Some _ -> ()
+    | None ->
+        (* Every prefix candidate was gated out.  This happens on short or
+           sharply inflecting series where the held-out checkpoints contain
+           most of the signal; refit each kernel on the whole series,
+           scored by its full-series RMSE, before resorting to polynomial
+           fallbacks. *)
+        List.iter
+          (fun kernel ->
+            match Fit.fit kernel ~xs ~ys with
+            | None -> ()
+            | Some fitted ->
+                if
+                  Fit.realistic fitted ~x_min:1.0 ~x_max:target_max ~require_nonnegative
+                  && plausible_growth fitted && slope_ok fitted
+                then consider { fitted; prefix = m; checkpoint_rmse = fitted.Fit.fit_rmse })
+          Catalogue.all);
+    match !best with
+    | Some (choice, _) -> Some choice
+    | None ->
+        (* Still nothing: fall back, subject to the same gates. *)
+        fallback ~extra_ok:(fun f -> plausible_growth f && slope_ok f) ~xs ~ys ~target_max
+          ~require_nonnegative ()
+  end

@@ -1,0 +1,56 @@
+(** The regression-analysis step of ESTIMA (paper Section 3.1.2, Figure 4).
+
+    Given the measured values of one stall category at increasing core
+    counts, the [c] highest-core measurements are designated *checkpoints*.
+    Candidate functions are fitted from every Table 1 kernel on every
+    measurement prefix of length 3..(m-c) — the prefix sweep guards against
+    over-fitting small deviations — unrealistic fits are discarded, and the
+    candidate with the lowest RMSE *at the checkpoints* wins: a function
+    may deviate at low core counts as long as it tracks where the series is
+    heading. *)
+
+open Estima_kernels
+
+type config = {
+  checkpoints : int;  (** c; the paper uses 2 and 4. *)
+  min_prefix : int;  (** Smallest prefix fitted (paper: 3). *)
+}
+
+val default_config : config
+(** 2 checkpoints, prefixes from 3. *)
+
+type choice = {
+  fitted : Fit.fitted;
+  prefix : int;  (** Number of leading measurements the winner was fitted on. *)
+  checkpoint_rmse : float;
+}
+
+val approximate :
+  ?config:config ->
+  xs:float array ->
+  ys:float array ->
+  target_max:float ->
+  require_nonnegative:bool ->
+  unit ->
+  choice option
+(** Runs the Figure 4 procedure.  [target_max] bounds the realism check:
+    a fit with a pole or blow-up inside [1, target_max] is discarded.
+
+    With very short series (fewer than [min_prefix + checkpoints] points —
+    e.g. the paper's memcached experiment measures only three thread
+    counts) the checkpoint scheme cannot run; a low-degree polynomial
+    fitted on all points is used instead, with its own fit RMSE as the
+    score.  Returns [None] only when no candidate survives the realism
+    filter.  Raises [Invalid_argument] on mismatched or empty input or a
+    non-positive config. *)
+
+val checkpoint_indices : m:int -> c:int -> int list
+(** Indices of the checkpoint measurements (the [c] last of [m]); exposed
+    for tests. *)
+
+val fallback_kernel_name : string
+(** Name reported by the short-series fallback. *)
+
+val fit_prefix :
+  Kernel.t -> xs:float array -> ys:float array -> prefix:int -> Fit.fitted option
+(** Fit one kernel on the first [prefix] points; exposed for ablations. *)

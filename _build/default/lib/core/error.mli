@@ -1,0 +1,45 @@
+(** Prediction quality metrics.
+
+    The paper reports *maximum prediction errors* (Table 4): the largest
+    relative deviation of predicted from measured execution time over the
+    prediction range, and — more importantly — whether the *scalability
+    verdict* is right: does the application keep scaling, and if not, at
+    roughly which core count does it stop? *)
+
+type verdict = Scales | Stops_at of int
+(** [Stops_at k]: execution time reaches its minimum at [k] cores and does
+    not improve (beyond a tolerance) afterwards. *)
+
+type t = {
+  max_error : float;  (** Max relative error over the evaluated points. *)
+  mean_error : float;
+  per_point : (int * float) list;  (** (threads, relative error). *)
+  predicted_verdict : verdict;
+  measured_verdict : verdict;
+  verdict_agrees : bool;
+}
+
+val evaluate :
+  predicted:float array ->
+  measured:float array ->
+  target_grid:float array ->
+  ?from_threads:int ->
+  unit ->
+  t
+(** Compares the two curves; [from_threads] (default 1) restricts the
+    error statistics to core counts at or above it — the paper excludes
+    nothing by default but weak-scaling results exclude single-core.
+    Raises [Invalid_argument] on inconsistent lengths or measured zeros. *)
+
+val scaling_verdict : ?tolerance:float -> times:float array -> grid:float array -> unit -> verdict
+(** [Stops_at k] where [k] is the first core count that no higher count
+    improves upon by more than [tolerance] (default 5%); [Scales] when
+    that point lies within the top 15% of the grid (improvements continue
+    essentially to full scale). *)
+
+val verdict_to_string : verdict -> string
+
+val agreement : predicted:verdict -> measured:verdict -> bool
+(** Verdicts agree when both scale, or both stop within a third of the
+    same core count — the paper's "no case predicts a different
+    behaviour" criterion on an integer grid. *)

@@ -1,0 +1,84 @@
+open Estima_machine
+open Estima_counters
+open Estima_workloads
+
+type setup = {
+  entry : Suite.entry;
+  measure_machine : Topology.t;
+  target_machine : Topology.t;
+  measure_threads : int list;
+  config : Predictor.config;
+  seed : int;
+  repetitions : int;
+}
+
+let default_setup ~entry ~measure_machine ~target_machine =
+  {
+    entry;
+    measure_machine;
+    target_machine;
+    measure_threads = Collector.default_thread_counts ~max:(Topology.cores measure_machine);
+    config = Predictor.default_config;
+    seed = 42;
+    repetitions = 5;
+  }
+
+type outcome = {
+  setup : setup;
+  measurements : Series.t;
+  prediction : Predictor.t;
+  truth : Series.t;
+  error : Error.t;
+  time_baseline : Time_extrapolation.t;
+  baseline_error : Error.t;
+}
+
+let collector_options setup =
+  {
+    Collector.default_options with
+    Collector.seed = setup.seed;
+    plugins = setup.entry.Suite.plugins;
+    repetitions = setup.repetitions;
+  }
+
+let measure setup =
+  Collector.collect ~options:(collector_options setup) ~machine:setup.measure_machine
+    ~spec:setup.entry.Suite.spec ~thread_counts:setup.measure_threads ()
+
+let ground_truth ?max_threads setup =
+  let max = Option.value ~default:(Topology.cores setup.target_machine) max_threads in
+  Collector.collect
+    ~options:{ (collector_options setup) with Collector.seed = setup.seed + 7919 }
+    ~machine:setup.target_machine ~spec:setup.entry.Suite.spec
+    ~thread_counts:(Collector.default_thread_counts ~max)
+    ()
+
+let run ?target_max setup =
+  let target_max = Option.value ~default:(Topology.cores setup.target_machine) target_max in
+  let measurements = measure setup in
+  let frequency_scale =
+    Frequency.time_scale ~measured_on:setup.measure_machine ~target:setup.target_machine
+  in
+  let config = { setup.config with Predictor.frequency_scale } in
+  let prediction = Predictor.predict ~config ~series:measurements ~target_max () in
+  let truth = ground_truth ~max_threads:target_max setup in
+  let measured_times = Series.times truth in
+  let error =
+    Error.evaluate ~predicted:prediction.Predictor.predicted_times ~measured:measured_times
+      ~target_grid:prediction.Predictor.target_grid ()
+  in
+  let time_baseline =
+    Time_extrapolation.predict ~config:setup.config.Predictor.approximation
+      ~threads:(Series.threads measurements) ~times:(Series.times measurements) ~target_max
+      ~frequency_scale ()
+  in
+  let baseline_error =
+    Error.evaluate ~predicted:time_baseline.Time_extrapolation.predicted_times
+      ~measured:measured_times ~target_grid:time_baseline.Time_extrapolation.target_grid ()
+  in
+  { setup; measurements; prediction; truth; error; time_baseline; baseline_error }
+
+let max_error_from outcome ~from_threads =
+  List.fold_left
+    (fun acc (threads, e) -> if threads >= from_threads then Float.max acc e else acc)
+    0.0 outcome.error.Error.per_point

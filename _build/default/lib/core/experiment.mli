@@ -1,0 +1,50 @@
+(** One complete prediction experiment: measure a workload on the
+    measurements machine, predict for the target machine, and validate
+    against a ground-truth sweep of the target — the protocol of every
+    evaluation result in the paper. *)
+
+open Estima_machine
+open Estima_counters
+open Estima_workloads
+
+type setup = {
+  entry : Suite.entry;
+  measure_machine : Topology.t;
+      (** E.g. one socket of the target ({!Machines.restrict_sockets}) or a
+          different machine entirely (desktop -> server). *)
+  target_machine : Topology.t;
+  measure_threads : int list;  (** Core counts sampled on the measurements machine. *)
+  config : Predictor.config;  (** [frequency_scale] is filled in by {!run}. *)
+  seed : int;
+  repetitions : int;
+}
+
+val default_setup :
+  entry:Suite.entry -> measure_machine:Topology.t -> target_machine:Topology.t -> setup
+(** Measures at 1..cores(measure_machine), seed 42, 5 averaged repetitions
+    per point, default predictor config. *)
+
+type outcome = {
+  setup : setup;
+  measurements : Series.t;
+  prediction : Predictor.t;
+  truth : Series.t;  (** Full sweep on the target machine. *)
+  error : Error.t;
+  time_baseline : Time_extrapolation.t;  (** The Section 2.4 comparator. *)
+  baseline_error : Error.t;
+}
+
+val measure : setup -> Series.t
+(** Step A only. *)
+
+val ground_truth : ?max_threads:int -> setup -> Series.t
+(** Sweep of the target machine at 1..max (defaults to every core). *)
+
+val run : ?target_max:int -> setup -> outcome
+(** The full protocol.  [target_max] defaults to the target machine's core
+    count.  The frequency scale between the two machines is applied
+    automatically. *)
+
+val max_error_from : outcome -> from_threads:int -> float
+(** Maximum relative error restricted to core counts >= [from_threads]
+    (e.g. only the extrapolated region). *)

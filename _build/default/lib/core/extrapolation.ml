@@ -1,0 +1,79 @@
+open Estima_kernels
+open Estima_counters
+
+type category_fit = {
+  category : string;
+  choice : Approximation.choice;
+  measured : float array;
+}
+
+type t = { fits : category_fit list; threads : float array; target_grid : float array }
+
+let zero_fit category measured =
+  {
+    category;
+    choice =
+      {
+        Approximation.fitted =
+          {
+            Fit.kernel_name = "Zero";
+            params = [||];
+            y_scale = 1.0;
+            fit_rmse = 0.0;
+            eval = (fun _ -> 0.0);
+          };
+        prefix = Array.length measured;
+        checkpoint_rmse = 0.0;
+      };
+    measured;
+  }
+
+let extrapolate ?(config = Approximation.default_config) ~series ~target_max ~include_software
+    ~include_frontend () =
+  if target_max < Series.max_threads series then
+    invalid_arg "Extrapolation.extrapolate: target below measurement window";
+  let xs = Series.threads series in
+  let categories = Series.categories series ~include_frontend in
+  let categories =
+    if include_software then categories
+    else
+      let software = List.map fst series.Series.samples.(0).Sample.software in
+      List.filter (fun c -> not (List.mem c software)) categories
+  in
+  let fits =
+    List.map
+      (fun category ->
+        let ys = Series.category_values series category in
+        if Array.for_all (fun v -> v = 0.0) ys then zero_fit category ys
+        else
+          match
+            Approximation.approximate ~config ~xs ~ys ~target_max:(float_of_int target_max)
+              ~require_nonnegative:true ()
+          with
+          | Some choice -> { category; choice; measured = ys }
+          | None -> Stdlib.failwith (Printf.sprintf "no realistic fit for stall category %s" category))
+      categories
+  in
+  let target_grid = Array.init target_max (fun i -> float_of_int (i + 1)) in
+  { fits; threads = xs; target_grid }
+
+let category_values t name =
+  match List.find_opt (fun f -> String.equal f.category name) t.fits with
+  | None -> raise Not_found
+  | Some f -> Array.map f.choice.Approximation.fitted.Fit.eval t.target_grid
+
+let total_stalls t n =
+  List.fold_left (fun acc f -> acc +. Float.max 0.0 (f.choice.Approximation.fitted.Fit.eval n)) 0.0 t.fits
+
+let stalls_per_core t = Array.map (fun n -> total_stalls t n /. n) t.target_grid
+
+let dominant_categories t ~at =
+  let contributions =
+    List.map (fun f -> (f.category, Float.max 0.0 (f.choice.Approximation.fitted.Fit.eval at))) t.fits
+  in
+  let total = List.fold_left (fun acc (_, v) -> acc +. v) 0.0 contributions in
+  if total <= 0.0 then List.map (fun (c, _) -> (c, 0.0)) contributions
+  else
+    contributions
+    |> List.map (fun (c, v) -> (c, v /. total))
+    |> List.sort (fun (_, a) (_, b) -> Float.compare b a)

@@ -1,0 +1,52 @@
+(** Step B of the pipeline: extrapolate every stall category individually
+    (paper Section 3.1.2) and combine them into stalled cycles per core.
+
+    Using the fine-grain categories — never an aggregate counter — is the
+    paper's central design decision (Section 2.5): individual categories
+    show trends at low core counts that the aggregate hides. *)
+
+open Estima_counters
+
+type category_fit = {
+  category : string;  (** Event code or software plugin name. *)
+  choice : Approximation.choice;
+  measured : float array;  (** The values the fit was selected from. *)
+}
+
+type t = {
+  fits : category_fit list;
+  threads : float array;  (** Measured core counts. *)
+  target_grid : float array;  (** 1..target, the prediction grid. *)
+}
+
+val extrapolate :
+  ?config:Approximation.config ->
+  series:Series.t ->
+  target_max:int ->
+  include_software:bool ->
+  include_frontend:bool ->
+  unit ->
+  t
+(** Fits every stall category of [series].  Categories whose measurements
+    are identically zero are carried as exact zero fits.  Raises [Failure]
+    naming the category when no realistic fit exists for a non-zero
+    category (callers treat this as "ESTIMA cannot extrapolate this
+    series"). *)
+
+val category_values : t -> string -> float array
+(** Extrapolated values of one category on the target grid.  Raises
+    [Not_found] for an unknown category. *)
+
+val total_stalls : t -> float -> float
+(** Sum of all fitted categories at a core count. *)
+
+val stalls_per_core : t -> float array
+(** [total_stalls / n] over the target grid — the quantity Figure 5(g)
+    plots. *)
+
+val dominant_categories : t -> at:float -> (string * float) list
+(** Categories ranked by their share of total stalls at core count [at];
+    shares sum to 1.  The bottleneck-identification input (Section 4.6). *)
+
+val zero_fit : string -> float array -> category_fit
+(** Exact-zero carrier, exposed for tests. *)

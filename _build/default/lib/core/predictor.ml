@@ -1,0 +1,109 @@
+open Estima_counters
+open Estima_kernels
+
+type config = {
+  approximation : Approximation.config;
+  include_software : bool;
+  include_frontend : bool;
+  frequency_scale : float;
+  dataset_factor : float;
+}
+
+let default_config =
+  {
+    approximation = Approximation.default_config;
+    include_software = false;
+    include_frontend = false;
+    frequency_scale = 1.0;
+    dataset_factor = 1.0;
+  }
+
+type t = {
+  config : config;
+  series : Series.t;
+  target_grid : float array;
+  predicted_times : float array;
+  stalls_per_core : float array;
+  extrapolation : Extrapolation.t;
+  factor : Scaling_factor.t;
+}
+
+let predict ?(config = default_config) ~series ~target_max () =
+  if config.frequency_scale <= 0.0 || config.dataset_factor <= 0.0 then
+    invalid_arg "Predictor.predict: non-positive scale";
+  let extrapolation =
+    Extrapolation.extrapolate ~config:config.approximation ~series ~target_max
+      ~include_software:config.include_software ~include_frontend:config.include_frontend ()
+  in
+  let target_grid = extrapolation.Extrapolation.target_grid in
+  (* Weak scaling: a k-times dataset produces (to first order) k times the
+     stall volume per category — the paper's "simple scaling". *)
+  let stalls_per_core =
+    Array.map (fun s -> s *. config.dataset_factor) (Extrapolation.stalls_per_core extrapolation)
+  in
+  let threads = Series.threads series in
+  let times =
+    Array.map (fun t -> t *. config.frequency_scale *. config.dataset_factor) (Series.times series)
+  in
+  (* Factor inputs: measured stalls per core, scaled consistently with the
+     grid so the factor is dataset-neutral. *)
+  let stalls_per_core_measured =
+    Array.map
+      (fun s -> s *. config.dataset_factor)
+      (Series.stalls_per_core series ~include_frontend:config.include_frontend
+         ~include_software:config.include_software)
+  in
+  let factor =
+    Scaling_factor.fit ~config:config.approximation ~threads ~times ~stalls_per_core_measured
+      ~stalls_per_core_grid:stalls_per_core ~target_grid ()
+  in
+  let predicted_times =
+    Scaling_factor.predict_times factor ~stalls_per_core_grid:stalls_per_core ~target_grid
+  in
+  (* Execution-time-vs-cores curves are empirically unimodal: parallelism
+     gains, then contention losses.  Once the predicted curve has clearly
+     inflected upward (5% above its minimum — predicted curves are smooth analytic forms, so this cannot be noise), a later decline is a
+     fitting artefact of the kernel forms, not a physical recovery — clamp
+     the tail to monotone. *)
+  let predicted_times =
+    let n = Array.length predicted_times in
+    let out = Array.copy predicted_times in
+    let running_min = ref out.(0) in
+    let clamping = ref false in
+    for i = 1 to n - 1 do
+      if !clamping then out.(i) <- Float.max out.(i) out.(i - 1)
+      else begin
+        if out.(i) < !running_min then running_min := out.(i);
+        if out.(i) > 1.05 *. !running_min then clamping := true
+      end
+    done;
+    out
+  in
+  { config; series; target_grid; predicted_times; stalls_per_core; extrapolation; factor }
+
+let predicted_time_at t ~threads =
+  if threads < 1 || threads > Array.length t.predicted_times then
+    invalid_arg "Predictor.predicted_time_at: outside target grid";
+  t.predicted_times.(threads - 1)
+
+let measured_window t = Series.max_threads t.series
+
+let factor_kernel t = t.factor.Scaling_factor.fitted.Fit.kernel_name
+
+let category_kernels t =
+  List.map
+    (fun f ->
+      ( f.Extrapolation.category,
+        f.Extrapolation.choice.Approximation.fitted.Fit.kernel_name ))
+    t.extrapolation.Extrapolation.fits
+
+let pp_summary ppf t =
+  Format.fprintf ppf "@[<v>prediction for %s on %s (measured <= %d cores, predicting <= %d)@,"
+    t.series.Series.spec_name t.series.Series.machine.Estima_machine.Topology.name
+    (measured_window t)
+    (Array.length t.target_grid);
+  List.iter
+    (fun (category, kernel) -> Format.fprintf ppf "  %-14s ~ %s@," category kernel)
+    (category_kernels t);
+  Format.fprintf ppf "  factor         ~ %s (corr %.3f)@]" (factor_kernel t)
+    t.factor.Scaling_factor.correlation

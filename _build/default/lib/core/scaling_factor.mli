@@ -1,0 +1,38 @@
+(** Step C: translating stalled cycles per core to execution time
+    (paper Section 3.1.3).
+
+    Stalls per core and execution time have near-identical curves but are
+    different quantities; the *scaling factor* linking them is itself a
+    function of the core count.  ESTIMA computes the factor at the
+    measured points, fits it with the Table 1 kernels, and — unlike the
+    stall fits — selects the kernel whose resulting execution-time
+    predictions have the highest Pearson correlation with stalls per core
+    over the whole prediction grid (the two quantities are known to be
+    strongly correlated, so the best factor preserves that correlation). *)
+
+open Estima_kernels
+
+type t = {
+  fitted : Fit.fitted;  (** The chosen factor function of the core count. *)
+  correlation : float;  (** Correlation achieved on the target grid. *)
+  measured_factors : float array;  (** time / stalls-per-core at measured points. *)
+}
+
+val fit :
+  ?config:Approximation.config ->
+  threads:float array ->
+  times:float array ->
+  stalls_per_core_measured:float array ->
+  stalls_per_core_grid:float array ->
+  target_grid:float array ->
+  unit ->
+  t
+(** [times] are the measured execution times (already frequency-scaled
+    when targeting a different machine).  Candidate factor fits come from
+    the same prefix sweep as stall categories; unrealistic fits (poles,
+    sign flips over the grid) are discarded.  Falls back to the median
+    measured factor (a constant) when nothing survives.  Raises
+    [Invalid_argument] on inconsistent lengths or non-positive stalls. *)
+
+val predict_times : t -> stalls_per_core_grid:float array -> target_grid:float array -> float array
+(** [factor(n) * stalls_per_core(n)] over the grid. *)

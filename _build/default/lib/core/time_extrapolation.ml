@@ -1,0 +1,23 @@
+open Estima_kernels
+
+type t = { target_grid : float array; predicted_times : float array; kernel_name : string }
+
+let predict ?(config = Approximation.default_config) ~threads ~times ~target_max
+    ?(frequency_scale = 1.0) () =
+  if Array.length threads = 0 || Array.length threads <> Array.length times then
+    invalid_arg "Time_extrapolation.predict: bad input";
+  if float_of_int target_max < threads.(Array.length threads - 1) then
+    invalid_arg "Time_extrapolation.predict: target below measurement window";
+  let scaled_times = Array.map (fun t -> t *. frequency_scale) times in
+  match
+    Approximation.approximate ~config ~xs:threads ~ys:scaled_times
+      ~target_max:(float_of_int target_max) ~require_nonnegative:true ()
+  with
+  | None -> Stdlib.failwith "time extrapolation: no realistic fit"
+  | Some choice ->
+      let target_grid = Array.init target_max (fun i -> float_of_int (i + 1)) in
+      {
+        target_grid;
+        predicted_times = Array.map choice.Approximation.fitted.Fit.eval target_grid;
+        kernel_name = choice.Approximation.fitted.Fit.kernel_name;
+      }

@@ -1,0 +1,25 @@
+(** The straw-man baseline of paper Section 2.4: extrapolate execution time
+    directly with the same kernels and checkpoint selection, ignoring
+    stalled cycles entirely.  Accurate when scalability trends are already
+    visible in the measured times; blind to changes that only announce
+    themselves in the fine-grain stall categories (kmeans, intruder,
+    yada). *)
+
+type t = {
+  target_grid : float array;
+  predicted_times : float array;
+  kernel_name : string;
+}
+
+val predict :
+  ?config:Approximation.config ->
+  threads:float array ->
+  times:float array ->
+  target_max:int ->
+  ?frequency_scale:float ->
+  unit ->
+  t
+(** Raises [Invalid_argument] on empty input or a target below the
+    measurement window; falls back internally like
+    {!Approximation.approximate} and raises [Failure] only when even the
+    fallback is unrealistic. *)

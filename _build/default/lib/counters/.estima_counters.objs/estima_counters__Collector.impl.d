@@ -1,0 +1,1 @@
+lib/counters/collector.ml: Engine Estima_machine Estima_sim List Plugin Plugin_config Report_file Sample Series Spec

@@ -1,0 +1,1 @@
+lib/counters/collector.mli: Estima_machine Estima_sim Plugin Plugin_config Series

@@ -1,0 +1,1 @@
+lib/counters/csv_export.ml: Array Buffer Fun List Printf Sample Series String

@@ -1,0 +1,1 @@
+lib/counters/csv_export.mli: Series

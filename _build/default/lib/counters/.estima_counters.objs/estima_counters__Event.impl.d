@@ -1,0 +1,1 @@
+lib/counters/event.ml: Estima_machine Estima_sim Hashtbl Ledger List Stall String Topology

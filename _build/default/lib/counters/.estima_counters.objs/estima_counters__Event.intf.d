@@ -1,0 +1,1 @@
+lib/counters/event.mli: Estima_machine Estima_sim

@@ -1,0 +1,1 @@
+lib/counters/plugin.ml: Array Engine Estima_sim Float Ledger List Stall

@@ -1,0 +1,1 @@
+lib/counters/plugin.mli: Estima_sim

@@ -1,0 +1,1 @@
+lib/counters/plugin_config.ml: Float In_channel List Option Plugin Printf Report_file Result String

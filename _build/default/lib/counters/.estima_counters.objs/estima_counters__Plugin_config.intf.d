@@ -1,0 +1,1 @@
+lib/counters/plugin_config.mli: Estima_sim Plugin

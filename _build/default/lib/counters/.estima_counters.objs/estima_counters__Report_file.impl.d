@@ -1,0 +1,1 @@
+lib/counters/report_file.ml: Array Buffer Engine Estima_sim Fun Ledger List Printf Stall String

@@ -1,0 +1,1 @@
+lib/counters/report_file.mli: Estima_sim

@@ -1,0 +1,1 @@
+lib/counters/sample.ml: Engine Estima_sim Event Ledger List Plugin

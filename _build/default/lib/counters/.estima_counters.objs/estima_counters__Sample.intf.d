@@ -1,0 +1,1 @@
+lib/counters/sample.mli: Estima_machine Estima_sim Plugin

@@ -1,0 +1,1 @@
+lib/counters/series.ml: Array Estima_machine List Sample

@@ -1,0 +1,1 @@
+lib/counters/series.mli: Estima_machine Sample

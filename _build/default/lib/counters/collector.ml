@@ -1,0 +1,66 @@
+open Estima_sim
+
+type options = {
+  seed : int;
+  plugins : Plugin.t list;
+  config_plugins : Plugin_config.entry list;
+  repetitions : int;
+}
+
+let default_options = { seed = 42; plugins = []; config_plugins = []; repetitions = 1 }
+
+let average_samples samples =
+  match samples with
+  | [] -> invalid_arg "Collector.average_samples: empty"
+  | first :: _ ->
+      let n = float_of_int (List.length samples) in
+      let avg f = List.fold_left (fun acc s -> acc +. f s) 0.0 samples /. n in
+      let avg_assoc get =
+        List.map
+          (fun (name, _) -> (name, avg (fun s -> List.assoc name (get s))))
+          (get first)
+      in
+      {
+        first with
+        Sample.time_seconds = avg (fun s -> s.Sample.time_seconds);
+        cycles = avg (fun s -> s.Sample.cycles);
+        counters = avg_assoc (fun s -> s.Sample.counters);
+        software = avg_assoc (fun s -> s.Sample.software);
+        useful_cycles = avg (fun s -> s.Sample.useful_cycles);
+      }
+
+let collect ?(options = default_options) ~machine ~spec ~thread_counts () =
+  if thread_counts = [] then invalid_arg "Collector.collect: no thread counts";
+  if options.repetitions <= 0 then invalid_arg "Collector.collect: repetitions must be positive";
+  let vendor = machine.Estima_machine.Topology.vendor in
+  let samples =
+    List.map
+      (fun threads ->
+        let runs =
+          List.init options.repetitions (fun rep ->
+              let seed = options.seed + (1000 * rep) in
+              let result = Engine.run ~seed ~machine ~spec ~threads () in
+              let sample = Sample.of_run ~plugins:options.plugins ~vendor result in
+              (* Configuration-file plugins read the run through its
+                 rendered runtime report, exactly the loop the paper's
+                 tool performs on the statistics files. *)
+              match options.config_plugins with
+              | [] -> sample
+              | entries ->
+                  let report = Report_file.render result in
+                  let extra =
+                    List.map
+                      (fun (e : Plugin_config.entry) ->
+                        (e.Plugin_config.name, Plugin_config.apply e ~report))
+                      entries
+                  in
+                  { sample with Sample.software = sample.Sample.software @ extra })
+        in
+        average_samples runs)
+      thread_counts
+  in
+  Series.make ~machine ~spec_name:spec.Spec.name samples
+
+let default_thread_counts ~max =
+  if max <= 0 then invalid_arg "Collector.default_thread_counts: non-positive max";
+  List.init max (fun i -> i + 1)

@@ -1,0 +1,31 @@
+(** Measurement collection: runs a workload across thread counts and
+    assembles the {!Series.t} that ESTIMA consumes (prediction step A). *)
+
+type options = {
+  seed : int;
+  plugins : Plugin.t list;  (** Software stall plugins to enable. *)
+  config_plugins : Plugin_config.entry list;
+      (** User-supplied plugin configurations (paper Section 4.1): each
+          entry reads the runtime's report file through its expression and
+          contributes one more software category per sample. *)
+  repetitions : int;
+      (** Runs averaged per thread count; > 1 smooths simulator noise the
+          way the paper averages repeated executions. *)
+}
+
+val default_options : options
+(** seed 42, no plugins, 1 repetition. *)
+
+val collect :
+  ?options:options ->
+  machine:Estima_machine.Topology.t ->
+  spec:Estima_sim.Spec.t ->
+  thread_counts:int list ->
+  unit ->
+  Series.t
+(** Runs [spec] on [machine] at each thread count.  Raises
+    [Invalid_argument] on an empty or out-of-range list. *)
+
+val default_thread_counts : max:int -> int list
+(** 1, 2, 3, ... up to [max]: the paper measures every core count up to
+    the measurements machine's size. *)

@@ -1,0 +1,44 @@
+let series_to_csv (series : Series.t) =
+  let buffer = Buffer.create 1024 in
+  let first = series.Series.samples.(0) in
+  let counter_names = List.map fst first.Sample.counters in
+  let software_names = List.map fst first.Sample.software in
+  Buffer.add_string buffer
+    (String.concat ","
+       ([ "threads"; "time_seconds" ] @ counter_names @ software_names @ [ "footprint_lines" ]));
+  Buffer.add_char buffer '\n';
+  Array.iter
+    (fun (s : Sample.t) ->
+      let cells =
+        [ string_of_int s.Sample.threads; Printf.sprintf "%.9g" s.Sample.time_seconds ]
+        @ List.map (fun n -> Printf.sprintf "%.9g" (Sample.counter s n)) counter_names
+        @ List.map (fun n -> Printf.sprintf "%.9g" (Sample.counter s n)) software_names
+        @ [ string_of_int s.Sample.footprint_lines ]
+      in
+      Buffer.add_string buffer (String.concat "," cells);
+      Buffer.add_char buffer '\n')
+    series.Series.samples;
+  Buffer.contents buffer
+
+let prediction_to_csv ~grid ~columns =
+  List.iter
+    (fun (name, values) ->
+      if Array.length values <> Array.length grid then
+        invalid_arg (Printf.sprintf "Csv_export.prediction_to_csv: column %s length mismatch" name))
+    columns;
+  let buffer = Buffer.create 1024 in
+  Buffer.add_string buffer (String.concat "," ("cores" :: List.map fst columns));
+  Buffer.add_char buffer '\n';
+  Array.iteri
+    (fun i n ->
+      let cells =
+        Printf.sprintf "%.0f" n :: List.map (fun (_, v) -> Printf.sprintf "%.9g" v.(i)) columns
+      in
+      Buffer.add_string buffer (String.concat "," cells);
+      Buffer.add_char buffer '\n')
+    grid;
+  Buffer.contents buffer
+
+let write ~path content =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc content)

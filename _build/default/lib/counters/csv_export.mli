@@ -1,0 +1,15 @@
+(** CSV export of measurement series, for plotting the paper-style figures
+    with external tools (gnuplot, pandas, ...). *)
+
+val series_to_csv : Series.t -> string
+(** One row per measured core count; columns: [threads], [time_seconds],
+    every hardware counter, every software plugin, [footprint_lines].
+    RFC-4180-style quoting is unnecessary (all fields are numeric or
+    simple identifiers). *)
+
+val prediction_to_csv :
+  grid:float array -> columns:(string * float array) list -> string
+(** Generic numeric table: [cores] followed by the named columns.  Raises
+    [Invalid_argument] on length mismatches. *)
+
+val write : path:string -> string -> unit

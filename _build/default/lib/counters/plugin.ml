@@ -1,0 +1,34 @@
+open Estima_sim
+
+type combine = Sum | Average | Min | Max
+
+type t = { name : string; causes : Stall.cause list; combine : combine }
+
+let pthread_wrapper =
+  { name = "pthread-sync"; causes = [ Stall.Lock_spin; Stall.Barrier_wait ]; combine = Sum }
+
+let swisstm = { name = "stm-abort"; causes = [ Stall.Stm_abort ]; combine = Sum }
+
+let validate t =
+  if t.name = "" then Error "plugin needs a name"
+  else if t.causes = [] then Error (t.name ^ ": no causes")
+  else if List.exists (fun c -> not (Stall.is_software c)) t.causes then
+    Error (t.name ^ ": hardware causes belong to performance counters, not plugins")
+  else Ok ()
+
+let read t (result : Engine.result) =
+  (match validate t with Ok () -> () | Error e -> invalid_arg ("Plugin.read: " ^ e));
+  let per_thread =
+    Array.map
+      (fun (ts : Engine.thread_stats) ->
+        List.fold_left (fun acc c -> acc +. Ledger.get ts.Engine.ledger c) 0.0 t.causes)
+      result.Engine.per_thread
+  in
+  let n = Array.length per_thread in
+  if n = 0 then 0.0
+  else
+    match t.combine with
+    | Sum -> Array.fold_left ( +. ) 0.0 per_thread
+    | Average -> Array.fold_left ( +. ) 0.0 per_thread /. float_of_int n
+    | Min -> Array.fold_left Float.min per_thread.(0) per_thread
+    | Max -> Array.fold_left Float.max per_thread.(0) per_thread

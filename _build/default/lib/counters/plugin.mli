@@ -1,0 +1,30 @@
+(** Software stalled-cycle plugins (paper Section 4.1).
+
+    ESTIMA accepts plugin configurations naming a source of reported
+    software stall cycles and a combining function applied to the values
+    collected from each thread.  Here the "report file" is the simulator's
+    per-thread ledger; two ready-made plugins mirror the paper's pthread
+    wrapper and the SwissTM statistics. *)
+
+type combine = Sum | Average | Min | Max
+
+type t = {
+  name : string;  (** Category label used by the predictor. *)
+  causes : Estima_sim.Stall.cause list;  (** Ledger causes this plugin reads. *)
+  combine : combine;  (** Applied across per-thread values. *)
+}
+
+val pthread_wrapper : t
+(** Lock spinning + barrier waiting, summed across threads — the thin
+    wrapper around the pthread library of Sections 4.6 and 5.3. *)
+
+val swisstm : t
+(** Aborted-transaction cycles, summed across threads — SwissTM with
+    detailed statistics enabled. *)
+
+val validate : t -> (unit, string) result
+(** Rejects plugins that name hardware causes (those belong to counters). *)
+
+val read : t -> Estima_sim.Engine.result -> float
+(** Apply the plugin to one run: gather its causes from each thread ledger
+    and combine.  Raises [Invalid_argument] if the plugin is invalid. *)

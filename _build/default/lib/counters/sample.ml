@@ -1,0 +1,50 @@
+open Estima_sim
+
+type t = {
+  threads : int;
+  time_seconds : float;
+  cycles : float;
+  counters : (string * float) list;
+  software : (string * float) list;
+  footprint_lines : int;
+  useful_cycles : float;
+}
+
+(* Frontend event codes, used to split categories without consulting the
+   vendor again. *)
+let frontend_codes = [ Event.amd_frontend.Event.code; Event.intel_frontend.Event.code ]
+
+let is_frontend_code code = List.mem code frontend_codes
+
+let of_run ~plugins ~vendor (result : Engine.result) =
+  {
+    threads = result.Engine.threads;
+    time_seconds = result.Engine.time_seconds;
+    cycles = result.Engine.cycles;
+    counters = Event.attribute_ledger vendor result.Engine.ledger;
+    software = List.map (fun p -> (p.Plugin.name, Plugin.read p result)) plugins;
+    footprint_lines = result.Engine.footprint_lines;
+    useful_cycles = Ledger.useful result.Engine.ledger;
+  }
+
+let counter t name =
+  match List.assoc_opt name t.counters with
+  | Some v -> v
+  | None -> (
+      match List.assoc_opt name t.software with Some v -> v | None -> raise Not_found)
+
+let categories t ~include_frontend =
+  let hw =
+    List.filter_map
+      (fun (code, _) -> if is_frontend_code code && not include_frontend then None else Some code)
+      t.counters
+  in
+  hw @ List.map fst t.software
+
+let total_stalls t ~include_frontend ~include_software =
+  let hw =
+    List.fold_left
+      (fun acc (code, v) -> if is_frontend_code code && not include_frontend then acc else acc +. v)
+      0.0 t.counters
+  in
+  if include_software then List.fold_left (fun acc (_, v) -> acc +. v) hw t.software else hw

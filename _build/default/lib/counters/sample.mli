@@ -1,0 +1,27 @@
+(** One measurement: a workload executed at one thread count.
+
+    The paper's step (A): counters, execution time and memory footprint
+    collected from a single run. *)
+
+type t = {
+  threads : int;
+  time_seconds : float;
+  cycles : float;  (** Makespan in cycles (frequency-neutral view). *)
+  counters : (string * float) list;  (** Event code -> attributed cycles. *)
+  software : (string * float) list;  (** Plugin name -> reported cycles. *)
+  footprint_lines : int;
+  useful_cycles : float;
+}
+
+val of_run :
+  plugins:Plugin.t list -> vendor:Estima_machine.Topology.vendor -> Estima_sim.Engine.result -> t
+
+val counter : t -> string -> float
+(** Raises [Not_found] for an unknown category (counter or plugin). *)
+
+val categories : t -> include_frontend:bool -> string list
+(** Hardware backend event codes (plus the frontend event when asked)
+    followed by software plugin names — the stall categories ESTIMA
+    extrapolates. *)
+
+val total_stalls : t -> include_frontend:bool -> include_software:bool -> float

@@ -1,0 +1,42 @@
+type t = {
+  machine : Estima_machine.Topology.t;
+  spec_name : string;
+  samples : Sample.t array;
+}
+
+let make ~machine ~spec_name samples =
+  if samples = [] then invalid_arg "Series.make: no samples";
+  let arr = Array.of_list samples in
+  Array.sort (fun a b -> compare a.Sample.threads b.Sample.threads) arr;
+  Array.iteri
+    (fun i s ->
+      if s.Sample.threads <= 0 then invalid_arg "Series.make: non-positive thread count";
+      if i > 0 && arr.(i - 1).Sample.threads = s.Sample.threads then
+        invalid_arg "Series.make: duplicate thread count")
+    arr;
+  { machine; spec_name; samples = arr }
+
+let threads t = Array.map (fun s -> float_of_int s.Sample.threads) t.samples
+
+let times t = Array.map (fun s -> s.Sample.time_seconds) t.samples
+
+let category_values t name =
+  Array.map
+    (fun s ->
+      match Sample.counter s name with v -> v | exception Not_found -> raise Not_found)
+    t.samples
+
+let categories t ~include_frontend = Sample.categories t.samples.(0) ~include_frontend
+
+let stalls_per_core t ~include_frontend ~include_software =
+  Array.map
+    (fun s ->
+      Sample.total_stalls s ~include_frontend ~include_software /. float_of_int s.Sample.threads)
+    t.samples
+
+let max_threads t = t.samples.(Array.length t.samples - 1).Sample.threads
+
+let truncate t ~max_threads =
+  let kept = Array.to_list t.samples |> List.filter (fun s -> s.Sample.threads <= max_threads) in
+  if kept = [] then invalid_arg "Series.truncate: no samples left";
+  { t with samples = Array.of_list kept }

@@ -1,0 +1,33 @@
+(** A measurement series: samples over increasing thread counts on one
+    machine, the input to ESTIMA's regression step. *)
+
+type t = {
+  machine : Estima_machine.Topology.t;
+  spec_name : string;
+  samples : Sample.t array;  (** Sorted by thread count, strictly increasing. *)
+}
+
+val make : machine:Estima_machine.Topology.t -> spec_name:string -> Sample.t list -> t
+(** Sorts and validates (distinct positive thread counts, non-empty).
+    Raises [Invalid_argument] otherwise. *)
+
+val threads : t -> float array
+
+val times : t -> float array
+
+val category_values : t -> string -> float array
+(** Values of one stall category across the series.  Raises [Not_found]
+    when any sample lacks the category. *)
+
+val categories : t -> include_frontend:bool -> string list
+(** Categories present in the first sample. *)
+
+val stalls_per_core : t -> include_frontend:bool -> include_software:bool -> float array
+(** Total stalls divided by thread count, per sample. *)
+
+val max_threads : t -> int
+
+val truncate : t -> max_threads:int -> t
+(** Keep only samples with [threads <= max_threads] — e.g. restrict a
+    full-machine sweep to the "measurements machine" window.  Raises
+    [Invalid_argument] when nothing survives. *)

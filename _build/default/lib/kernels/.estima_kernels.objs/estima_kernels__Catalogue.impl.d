@@ -1,0 +1,1 @@
+lib/kernels/catalogue.ml: Cubic_ln Exp_rat Kernel List Poly25 Rational String

@@ -1,0 +1,1 @@
+lib/kernels/catalogue.mli: Kernel

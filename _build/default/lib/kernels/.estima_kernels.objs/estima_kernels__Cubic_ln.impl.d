@@ -1,0 +1,1 @@
+lib/kernels/cubic_ln.ml: Array Estima_numerics Float Kernel Linear_fit Qr Vec

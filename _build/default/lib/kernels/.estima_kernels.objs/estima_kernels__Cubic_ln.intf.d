@@ -1,0 +1,1 @@
+lib/kernels/cubic_ln.mli: Kernel

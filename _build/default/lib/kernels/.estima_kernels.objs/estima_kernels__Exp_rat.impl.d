@@ -1,0 +1,1 @@
+lib/kernels/exp_rat.ml: Array Estima_numerics Kernel Mat Qr Stats Vec

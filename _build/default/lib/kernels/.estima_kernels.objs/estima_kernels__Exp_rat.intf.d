@@ -1,0 +1,1 @@
+lib/kernels/exp_rat.mli: Kernel

@@ -1,0 +1,1 @@
+lib/kernels/fit.ml: Array Estima_numerics Float Kernel List Lm Stats Vec

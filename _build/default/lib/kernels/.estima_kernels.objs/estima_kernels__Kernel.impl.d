@@ -1,0 +1,1 @@
+lib/kernels/kernel.ml: Array Estima_numerics Lm Mat Vec

@@ -1,0 +1,1 @@
+lib/kernels/kernel.mli: Estima_numerics Lm Vec

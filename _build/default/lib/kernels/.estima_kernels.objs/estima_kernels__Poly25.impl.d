@@ -1,0 +1,1 @@
+lib/kernels/poly25.ml: Array Estima_numerics Float Fun Kernel Linear_fit Qr Vec

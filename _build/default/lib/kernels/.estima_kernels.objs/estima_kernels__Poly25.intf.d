@@ -1,0 +1,1 @@
+lib/kernels/poly25.mli: Kernel

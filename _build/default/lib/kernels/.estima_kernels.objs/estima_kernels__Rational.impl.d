@@ -1,0 +1,1 @@
+lib/kernels/rational.ml: Array Estima_numerics Float Kernel Mat Qr Stats Vec

@@ -1,0 +1,1 @@
+lib/kernels/rational.mli: Kernel

@@ -1,0 +1,6 @@
+let all =
+  [ Rational.rat22; Rational.rat23; Rational.rat33; Cubic_ln.kernel; Exp_rat.kernel; Poly25.kernel ]
+
+let find name = List.find_opt (fun k -> String.equal k.Kernel.name name) all
+
+let names = List.map (fun k -> k.Kernel.name) all

@@ -1,0 +1,10 @@
+(** The Table 1 kernel set and selection helpers. *)
+
+val all : Kernel.t list
+(** Rat22, Rat23, Rat33, CubicLn, ExpRat, Poly25 — the complete Table 1 set
+    in paper order. *)
+
+val find : string -> Kernel.t option
+(** Lookup by Table 1 name (case-sensitive). *)
+
+val names : string list

@@ -1,0 +1,5 @@
+(** CubicLn kernel of Table 1: a + b ln(n) + c ln(n)^2 + d ln(n)^3.
+
+    Linear in its coefficients; defined for n > 0 (core counts are >= 1). *)
+
+val kernel : Kernel.t

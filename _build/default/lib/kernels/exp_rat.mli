@@ -1,0 +1,7 @@
+(** ExpRat kernel of Table 1: exp((a + b n) / (c + d n)).
+
+    Strictly positive, with a horizontal asymptote exp(b/d) as n grows when
+    d <> 0 — the shape that captures saturating stall categories.  Only
+    applicable to positive data (initial guesses linearise through log). *)
+
+val kernel : Kernel.t

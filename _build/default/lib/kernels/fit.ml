@@ -1,0 +1,83 @@
+open Estima_numerics
+
+type fitted = {
+  kernel_name : string;
+  params : Vec.t;
+  y_scale : float;
+  fit_rmse : float;
+  eval : float -> float;
+}
+
+(* How far beyond the fitted magnitude an extrapolation may wander before we
+   call it an explosion rather than a trend.  Stall categories can grow
+   superlinearly towards the target, but nothing physical grows by more
+   than ~two orders of magnitude from the measured window. *)
+let explosion_factor = 200.0
+
+let make_fitted (kernel : Kernel.t) params ~y_scale ~xs ~ys =
+  let eval x = kernel.Kernel.eval params x *. y_scale in
+  let predictions = Array.map eval xs in
+  if not (Vec.all_finite predictions) then None
+  else Some { kernel_name = kernel.Kernel.name; params; y_scale; fit_rmse = Stats.rmse predictions ys; eval }
+
+let fit (kernel : Kernel.t) ~xs ~ys =
+  let npoints = Array.length xs in
+  if npoints <> Array.length ys then invalid_arg "Fit.fit: length mismatch";
+  if npoints = 0 then invalid_arg "Fit.fit: empty data";
+  if not (Kernel.applicable kernel ~npoints) then None
+  else
+    let y_scale =
+      let m = Vec.norm_inf ys in
+      if m > 0.0 then m else 1.0
+    in
+    let ys_norm = Array.map (fun y -> y /. y_scale) ys in
+    let guesses = kernel.Kernel.initial_guesses ~xs ~ys:ys_norm in
+    if guesses = [] then None
+    else if kernel.Kernel.linear then
+      (* The linearised guess already is the least-squares optimum. *)
+      match guesses with
+      | params :: _ -> make_fitted kernel params ~y_scale ~xs ~ys
+      | [] -> None
+    else begin
+      let objective = Kernel.residual_objective kernel ~xs ~ys:ys_norm in
+      let best = ref None in
+      let consider params cost =
+        match !best with
+        | Some (_, best_cost) when best_cost <= cost -> ()
+        | _ -> best := Some (params, cost)
+      in
+      List.iter
+        (fun init ->
+          let r0 = objective.Lm.residual init in
+          if Vec.all_finite r0 then begin
+            match Lm.minimize objective ~init with
+            | result -> consider result.Lm.params result.Lm.cost
+            | exception Invalid_argument _ -> ()
+          end)
+        guesses;
+      match !best with
+      | None -> None
+      | Some (params, _) -> make_fitted kernel params ~y_scale ~xs ~ys
+    end
+
+let realistic fitted ~x_min ~x_max ~require_nonnegative =
+  if x_max < x_min then invalid_arg "Fit.realistic: empty range";
+  let bound = explosion_factor *. Float.max fitted.y_scale 1.0 in
+  (* Negative excursions are tolerated up to a quarter of the data
+     magnitude: downstream consumers clamp stall predictions at zero, and
+     hockey-stick categories (near-zero head, exploding tail) force any
+     matching fit slightly below zero at low core counts.  Only deeply
+     negative fits are nonsense worth rejecting. *)
+  let neg_slack = -0.25 *. Float.max fitted.y_scale 1.0 in
+  let steps = 256 in
+  let ok = ref true in
+  (for i = 0 to steps do
+     let x = x_min +. ((x_max -. x_min) *. float_of_int i /. float_of_int steps) in
+     let v = fitted.eval x in
+     if not (Float.is_finite v) then ok := false
+     else if Float.abs v > bound then ok := false
+     else if require_nonnegative && v < neg_slack then ok := false
+   done);
+  !ok
+
+let evaluate_many fitted grid = Array.map fitted.eval grid

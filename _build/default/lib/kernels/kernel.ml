@@ -1,0 +1,21 @@
+open Estima_numerics
+
+type t = {
+  name : string;
+  arity : int;
+  eval : Vec.t -> float -> float;
+  gradient : Vec.t -> float -> Vec.t;
+  initial_guesses : xs:float array -> ys:float array -> Vec.t list;
+  linear : bool;
+}
+
+let applicable t ~npoints = npoints >= t.arity
+
+let residual_objective t ~xs ~ys =
+  if Array.length xs <> Array.length ys then invalid_arg "Kernel.residual_objective: length mismatch";
+  let residual params = Array.mapi (fun i x -> t.eval params x -. ys.(i)) xs in
+  let jacobian params =
+    let grad_rows = Array.map (fun x -> t.gradient params x) xs in
+    Mat.init (Array.length xs) t.arity (fun i j -> grad_rows.(i).(j))
+  in
+  { Lm.residual; jacobian }

@@ -1,0 +1,6 @@
+(** Poly25 kernel of Table 1: a + b x + c x^2 + d x^2.5.
+
+    Linear in its coefficients; the x^2.5 term models super-quadratic
+    contention growth without the blow-up of a cubic. *)
+
+val kernel : Kernel.t

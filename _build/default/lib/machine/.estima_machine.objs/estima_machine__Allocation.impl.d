@@ -1,0 +1,1 @@
+lib/machine/allocation.ml: Array List Printf Topology

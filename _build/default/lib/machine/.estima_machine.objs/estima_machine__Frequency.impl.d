@@ -1,0 +1,1 @@
+lib/machine/frequency.ml: Array Topology

@@ -1,0 +1,1 @@
+lib/machine/host.ml: Hashtbl In_channel List Option String Topology

@@ -1,0 +1,1 @@
+lib/machine/machines.ml: List Printf String Topology

@@ -1,0 +1,82 @@
+type raw = {
+  sockets : int;
+  cores_per_socket : int;
+  threads_per_core : int;
+  model_name : string;
+  vendor : Topology.vendor;
+  mhz : float;
+}
+
+let field_value line =
+  match String.index_opt line ':' with
+  | None -> None
+  | Some i -> Some (String.trim (String.sub line (i + 1) (String.length line - i - 1)))
+
+let field_name line =
+  match String.index_opt line ':' with
+  | None -> String.trim line
+  | Some i -> String.trim (String.sub line 0 i)
+
+let read_proc_cpuinfo text =
+  let lines = String.split_on_char '\n' text in
+  let physical_ids = Hashtbl.create 8 in
+  let cores_per_socket = ref 0 in
+  let model_name = ref "" in
+  let vendor = ref Topology.Intel in
+  let mhz = ref 0.0 in
+  let logical = ref 0 in
+  List.iter
+    (fun line ->
+      match (field_name line, field_value line) with
+      | "processor", Some _ -> incr logical
+      | "physical id", Some v -> Hashtbl.replace physical_ids v ()
+      | "cpu cores", Some v -> (
+          match int_of_string_opt v with Some n when n > 0 -> cores_per_socket := n | _ -> ())
+      | "model name", Some v -> if !model_name = "" then model_name := v
+      | "vendor_id", Some v -> if String.lowercase_ascii v = "authenticamd" then vendor := Topology.Amd
+      | "cpu MHz", Some v -> (
+          match float_of_string_opt v with Some f when !mhz = 0.0 -> mhz := f | _ -> ())
+      | _ -> ())
+    lines;
+  let sockets = max 1 (Hashtbl.length physical_ids) in
+  if !logical = 0 || !cores_per_socket = 0 then None
+  else
+    let physical = sockets * !cores_per_socket in
+    let threads_per_core = max 1 (!logical / max 1 physical) in
+    Some
+      {
+        sockets;
+        cores_per_socket = !cores_per_socket;
+        threads_per_core = min 2 threads_per_core;
+        model_name = !model_name;
+        vendor = !vendor;
+        mhz = (if !mhz > 0.0 then !mhz else 2000.0);
+      }
+
+let of_raw raw =
+  {
+    Topology.name = (if raw.model_name = "" then "host" else "host:" ^ raw.model_name);
+    vendor = raw.vendor;
+    sockets = raw.sockets;
+    chips_per_socket = 1;
+    cores_per_chip = raw.cores_per_socket;
+    smt = raw.threads_per_core;
+    frequency_ghz = raw.mhz /. 1000.0;
+    timing =
+      {
+        Topology.l1_hit_cycles = 4;
+        llc_hit_cycles = 36;
+        local_memory_cycles = 200;
+        remote_chip_penalty_cycles = 0;
+        remote_socket_penalty_cycles = 150;
+        memory_ports_per_controller = 2;
+        memory_service_cycles = 20;
+        private_cache_lines = 4096;
+        llc_lines_per_socket = 262144;
+      };
+  }
+
+let discover () =
+  match In_channel.with_open_text "/proc/cpuinfo" In_channel.input_all with
+  | exception Sys_error _ -> None
+  | text -> Option.map of_raw (read_proc_cpuinfo text)

@@ -1,0 +1,30 @@
+(** Host topology discovery.
+
+    The paper's tool "can either discover the number of cores of the
+    machine it runs on or take the number of cores to use as an input
+    parameter ... [it] discovers the topology of the cores and uses cores
+    within the same socket first."  This module reads the Linux sysfs/proc
+    interfaces and assembles a {!Topology.t} for the machine the library
+    is actually running on, with default timing parameters (the timing
+    model only matters when simulating; a discovered host is typically
+    used for placement and reporting). *)
+
+type raw = {
+  sockets : int;
+  cores_per_socket : int;
+  threads_per_core : int;
+  model_name : string;
+  vendor : Topology.vendor;
+  mhz : float;
+}
+
+val read_proc_cpuinfo : string -> raw option
+(** Parse the contents of /proc/cpuinfo (passed as a string so tests can
+    supply fixtures).  Returns [None] when the fields needed are absent. *)
+
+val discover : unit -> Topology.t option
+(** Build a topology for the current host from /proc/cpuinfo; [None] when
+    the file is unreadable or unparseable (non-Linux systems). *)
+
+val of_raw : raw -> Topology.t
+(** Topology with generic Intel-class timing parameters. *)

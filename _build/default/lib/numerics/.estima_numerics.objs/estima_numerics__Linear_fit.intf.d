@@ -1,0 +1,1 @@
+lib/numerics/linear_fit.mli: Vec

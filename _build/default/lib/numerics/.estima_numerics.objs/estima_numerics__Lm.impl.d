@@ -1,0 +1,1 @@
+lib/numerics/lm.ml: Array Float Mat Qr Vec

@@ -1,0 +1,1 @@
+lib/numerics/qr.ml: Array Float Mat Vec

@@ -1,0 +1,1 @@
+lib/numerics/qr.mli: Mat Vec

@@ -1,0 +1,18 @@
+let fit ~basis ~xs ~ys =
+  let npoints = Array.length xs and nbasis = Array.length basis in
+  if npoints <> Array.length ys then invalid_arg "Linear_fit.fit: xs/ys length mismatch";
+  if npoints < nbasis then invalid_arg "Linear_fit.fit: fewer points than basis functions";
+  let design = Mat.init npoints nbasis (fun i j -> basis.(j) xs.(i)) in
+  Qr.solve_least_squares design ys
+
+let polynomial ~degree ~xs ~ys =
+  if degree < 0 then invalid_arg "Linear_fit.polynomial: negative degree";
+  let basis = Array.init (degree + 1) (fun j x -> Float.pow x (float_of_int j)) in
+  fit ~basis ~xs ~ys
+
+let eval_polynomial coeffs x =
+  let acc = ref 0.0 in
+  for j = Vec.dim coeffs - 1 downto 0 do
+    acc := (!acc *. x) +. coeffs.(j)
+  done;
+  !acc

@@ -1,0 +1,18 @@
+(** Linear-in-coefficients least-squares fitting.
+
+    Several Table 1 kernels (CubicLn, Poly25) are linear in their
+    coefficients, and the rational kernels are initialised by a linearised
+    fit; both reduce to solving a design-matrix system, done here via
+    {!Qr}. *)
+
+val fit : basis:(float -> float) array -> xs:float array -> ys:float array -> Vec.t
+(** [fit ~basis ~xs ~ys] returns coefficients [c] minimising
+    [sum_i (sum_j c_j * basis_j(x_i) - y_i)^2].  Raises [Invalid_argument]
+    when there are fewer points than basis functions or lengths mismatch;
+    raises {!Qr.Singular} on a rank-deficient design matrix. *)
+
+val polynomial : degree:int -> xs:float array -> ys:float array -> Vec.t
+(** Least-squares polynomial coefficients, lowest degree first. *)
+
+val eval_polynomial : Vec.t -> float -> float
+(** Horner evaluation of [polynomial] output. *)

@@ -1,0 +1,130 @@
+type objective = { residual : Vec.t -> Vec.t; jacobian : Vec.t -> Mat.t }
+
+type options = {
+  max_iterations : int;
+  tolerance_gradient : float;
+  tolerance_step : float;
+  tolerance_cost : float;
+  initial_lambda : float;
+  lambda_increase : float;
+  lambda_decrease : float;
+}
+
+let default_options =
+  {
+    max_iterations = 200;
+    tolerance_gradient = 1e-10;
+    tolerance_step = 1e-12;
+    tolerance_cost = 1e-12;
+    initial_lambda = 1e-3;
+    lambda_increase = 10.0;
+    lambda_decrease = 10.0;
+  }
+
+type outcome = Converged | Max_iterations | Stalled
+
+type result = { params : Vec.t; cost : float; iterations : int; outcome : outcome }
+
+let cost_of_residual r = 0.5 *. Vec.dot r r
+
+let lambda_ceiling = 1e12
+
+(* Solve the damped normal equations (J^T J + lambda diag(J^T J)) p = -J^T r
+   via QR on the stacked system [J; sqrt(lambda) * sqrt(diag)] to avoid
+   forming J^T J explicitly. *)
+let solve_damped_step jac residual lambda =
+  let m = Mat.rows jac and n = Mat.cols jac in
+  let diag =
+    Array.init n (fun j ->
+        let acc = ref 0.0 in
+        for i = 0 to m - 1 do
+          let v = Mat.get jac i j in
+          acc := !acc +. (v *. v)
+        done;
+        (* Guard against zero columns: damp against unit scale instead. *)
+        Float.max !acc 1e-30)
+  in
+  let stacked =
+    Mat.init (m + n) n (fun i j ->
+        if i < m then Mat.get jac i j
+        else if i - m = j then sqrt (lambda *. diag.(j))
+        else 0.0)
+  in
+  let rhs = Array.init (m + n) (fun i -> if i < m then -.residual.(i) else 0.0) in
+  Qr.solve_least_squares stacked rhs
+
+let minimize ?(options = default_options) objective ~init =
+  if Vec.dim init = 0 then invalid_arg "Lm.minimize: empty parameter vector";
+  let r0 = objective.residual init in
+  if not (Vec.all_finite r0) then invalid_arg "Lm.minimize: non-finite residual at initial point";
+  let params = ref (Vec.copy init) in
+  let residual = ref r0 in
+  let cost = ref (cost_of_residual r0) in
+  let lambda = ref options.initial_lambda in
+  let iterations = ref 0 in
+  let outcome = ref Max_iterations in
+  (try
+     while !iterations < options.max_iterations do
+       incr iterations;
+       let jac = objective.jacobian !params in
+       if not (Mat.all_finite jac) then begin
+         outcome := Stalled;
+         raise Exit
+       end;
+       (* Gradient convergence test. *)
+       let grad = Mat.mul_vec (Mat.transpose jac) !residual in
+       if Vec.norm_inf grad < options.tolerance_gradient then begin
+         outcome := Converged;
+         raise Exit
+       end;
+       (* Inner loop: grow lambda until a step is accepted. *)
+       let accepted = ref false in
+       while (not !accepted) && !lambda < lambda_ceiling do
+         match solve_damped_step jac !residual !lambda with
+         | exception Qr.Singular -> lambda := !lambda *. options.lambda_increase
+         | step ->
+             let trial = Vec.add !params step in
+             let trial_residual = objective.residual trial in
+             let trial_ok = Vec.all_finite trial_residual in
+             let trial_cost = if trial_ok then cost_of_residual trial_residual else Float.infinity in
+             if trial_ok && trial_cost < !cost then begin
+               let step_small =
+                 Vec.norm2 step < options.tolerance_step *. (Vec.norm2 !params +. options.tolerance_step)
+               in
+               let cost_small = !cost -. trial_cost < options.tolerance_cost *. Float.max !cost 1e-300 in
+               params := trial;
+               residual := trial_residual;
+               cost := trial_cost;
+               lambda := Float.max (!lambda /. options.lambda_decrease) 1e-12;
+               accepted := true;
+               if step_small || cost_small then begin
+                 outcome := Converged;
+                 raise Exit
+               end
+             end
+             else lambda := !lambda *. options.lambda_increase
+       done;
+       if not !accepted then begin
+         outcome := Stalled;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  { params = !params; cost = !cost; iterations = !iterations; outcome = !outcome }
+
+let finite_difference_jacobian residual p =
+  let r0 = residual p in
+  let m = Vec.dim r0 and n = Vec.dim p in
+  let jac = Mat.create m n 0.0 in
+  let eps = sqrt epsilon_float in
+  for j = 0 to n - 1 do
+    let h = eps *. Float.max 1.0 (Float.abs p.(j)) in
+    let plus = Vec.copy p and minus = Vec.copy p in
+    plus.(j) <- plus.(j) +. h;
+    minus.(j) <- minus.(j) -. h;
+    let rp = residual plus and rm = residual minus in
+    for i = 0 to m - 1 do
+      Mat.set jac i j ((rp.(i) -. rm.(i)) /. (2.0 *. h))
+    done
+  done;
+  jac

@@ -1,0 +1,26 @@
+(** Householder QR factorisation and least-squares solving.
+
+    This is the linear-algebra workhorse under the Levenberg-Marquardt
+    fitter: every damped Gauss-Newton step solves an overdetermined system
+    [J p = r] in the least-squares sense.  Householder reflections are used
+    for numerical stability (the normal equations square the condition
+    number, which the near-singular rational-kernel Jacobians cannot
+    afford). *)
+
+exception Singular
+(** Raised when the matrix is numerically rank-deficient. *)
+
+val solve_least_squares : Mat.t -> Vec.t -> Vec.t
+(** [solve_least_squares a b] returns the minimiser of [||a x - b||_2] for a
+    matrix with [rows >= cols].  Raises {!Singular} when a diagonal entry of
+    R underflows the rank tolerance, and [Invalid_argument] on dimension
+    mismatch or underdetermined systems. *)
+
+val solve_square : Mat.t -> Vec.t -> Vec.t
+(** [solve_square a b] solves [a x = b] for square [a] via QR.  Raises
+    {!Singular} on rank deficiency. *)
+
+val decompose : Mat.t -> Mat.t * Mat.t
+(** [decompose a] returns [(q, r)] with [a = q r], [q] orthogonal
+    ([rows x rows]) and [r] upper triangular ([rows x cols]).  Exposed for
+    tests; the solvers use the implicit representation internally. *)

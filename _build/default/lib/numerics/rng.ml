@@ -1,0 +1,74 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64 finaliser (Steele, Lea, Flood 2014). *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let child_seed = int64 t in
+  { state = mix child_seed }
+
+let float t =
+  (* 53 high bits give a uniform double in [0,1). *)
+  let bits = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Drop to the native int width and clear the sign bit before reducing. *)
+  let v = Int64.to_int (int64 t) land max_int in
+  v mod bound
+
+let bool t p =
+  if p <= 0.0 then false
+  else if p >= 1.0 then true
+  else float t < p
+
+let exponential t mean =
+  if mean <= 0.0 then invalid_arg "Rng.exponential: mean must be positive";
+  let u = 1.0 -. float t in
+  -. mean *. log u
+
+let gaussian t ~mu ~sigma =
+  let u1 = 1.0 -. float t in
+  let u2 = float t in
+  mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+let lognormal_factor t ~sigma = exp (gaussian t ~mu:0.0 ~sigma)
+
+let zipf t ~n ~s =
+  if n <= 0 then invalid_arg "Rng.zipf: n must be positive";
+  (* Inverse-transform sampling over the normalised harmonic mass.  Linear in
+     [n]; callers cache nothing, so keep [n] modest. *)
+  let total = ref 0.0 in
+  for k = 1 to n do
+    total := !total +. (1.0 /. Float.pow (float_of_int k) s)
+  done;
+  let target = float t *. !total in
+  let rec walk k acc =
+    if k > n then n - 1
+    else
+      let acc = acc +. (1.0 /. Float.pow (float_of_int k) s) in
+      if acc >= target then k - 1 else walk (k + 1) acc
+  in
+  walk 1 0.0
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

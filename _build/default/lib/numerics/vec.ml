@@ -1,0 +1,64 @@
+type t = float array
+
+let create n x = Array.make n x
+
+let init = Array.init
+
+let dim = Array.length
+
+let copy = Array.copy
+
+let of_list = Array.of_list
+
+let to_list = Array.to_list
+
+let map = Array.map
+
+let check_dims name a b =
+  if Array.length a <> Array.length b then
+    invalid_arg (Printf.sprintf "Vec.%s: dimension mismatch (%d vs %d)" name (Array.length a) (Array.length b))
+
+let map2 f a b =
+  check_dims "map2" a b;
+  Array.init (Array.length a) (fun i -> f a.(i) b.(i))
+
+let add a b = map2 ( +. ) a b
+
+let sub a b = map2 ( -. ) a b
+
+let scale s a = Array.map (fun x -> s *. x) a
+
+let dot a b =
+  check_dims "dot" a b;
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let norm2 a = sqrt (dot a a)
+
+let norm_inf a = Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0.0 a
+
+let sum a = Array.fold_left ( +. ) 0.0 a
+
+let max_elt a =
+  if Array.length a = 0 then invalid_arg "Vec.max_elt: empty vector";
+  Array.fold_left Float.max a.(0) a
+
+let min_elt a =
+  if Array.length a = 0 then invalid_arg "Vec.min_elt: empty vector";
+  Array.fold_left Float.min a.(0) a
+
+let axpy alpha x y =
+  check_dims "axpy" x y;
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- y.(i) +. (alpha *. x.(i))
+  done
+
+let all_finite a = Array.for_all (fun x -> Float.is_finite x) a
+
+let pp ppf a =
+  Format.fprintf ppf "[|";
+  Array.iteri (fun i x -> if i > 0 then Format.fprintf ppf "; %g" x else Format.fprintf ppf "%g" x) a;
+  Format.fprintf ppf "|]"

@@ -1,0 +1,1 @@
+lib/repro/ablations.ml: Approximation Array Error Estima Estima_counters Estima_machine Estima_workloads Lab List Machines Option Predictor Render Sample Series Suite

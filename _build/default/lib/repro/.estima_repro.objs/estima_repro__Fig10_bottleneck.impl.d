@@ -1,0 +1,1 @@
+lib/repro/fig10_bottleneck.ml: Array Bottleneck Estima Estima_counters Estima_machine Estima_workloads Float Format Lab List Machines Option Printf Render Series Suite

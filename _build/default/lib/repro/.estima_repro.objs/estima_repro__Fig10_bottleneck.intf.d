@@ -1,0 +1,1 @@
+lib/repro/fig10_bottleneck.mli: Estima

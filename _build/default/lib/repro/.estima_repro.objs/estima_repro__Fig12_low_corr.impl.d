@@ -1,0 +1,1 @@
+lib/repro/fig12_low_corr.ml: Estima_counters Estima_machine Estima_numerics Estima_workloads Lab List Machines Option Printf Render Series Stats Suite Topology

@@ -1,0 +1,1 @@
+lib/repro/fig12_low_corr.mli:

@@ -1,0 +1,1 @@
+lib/repro/fig13_software_stalls.ml: Array Estima Estima_counters Estima_machine Estima_numerics Estima_sim Estima_workloads Lab List Machines Option Printf Render Series Stats Suite

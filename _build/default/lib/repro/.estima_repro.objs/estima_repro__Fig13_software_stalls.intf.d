@@ -1,0 +1,1 @@
+lib/repro/fig13_software_stalls.mli:

@@ -1,0 +1,1 @@
+lib/repro/fig15_limitations.ml: Error Estima Estima_counters Estima_machine Estima_workloads Lab Machines Option Predictor Printf Render Series Suite

@@ -1,0 +1,1 @@
+lib/repro/fig15_limitations.mli: Estima

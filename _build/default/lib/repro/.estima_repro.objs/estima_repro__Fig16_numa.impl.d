@@ -1,0 +1,1 @@
+lib/repro/fig16_numa.ml: Error Estima Estima_machine Estima_workloads Lab List Machines Option Render Suite

@@ -1,0 +1,1 @@
+lib/repro/fig16_numa.mli:

@@ -1,0 +1,1 @@
+lib/repro/fig1_kmeans_time.ml: Error Estima Estima_counters Estima_machine Estima_workloads Lab Machines Option Printf Render Series Suite Time_extrapolation

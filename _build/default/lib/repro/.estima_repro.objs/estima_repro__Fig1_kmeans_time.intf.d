@@ -1,0 +1,1 @@
+lib/repro/fig1_kmeans_time.mli: Estima

@@ -1,0 +1,1 @@
+lib/repro/fig2_correlation.mli:

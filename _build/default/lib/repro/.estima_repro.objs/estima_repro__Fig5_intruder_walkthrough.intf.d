@@ -1,0 +1,1 @@
+lib/repro/fig5_intruder_walkthrough.mli: Estima

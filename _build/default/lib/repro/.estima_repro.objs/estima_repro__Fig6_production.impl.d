@@ -1,0 +1,1 @@
+lib/repro/fig6_production.ml: Error Estima Estima_counters Estima_machine Estima_workloads Lab List Machines Option Predictor Printf Render Series Suite

@@ -1,0 +1,1 @@
+lib/repro/fig6_production.mli: Estima

@@ -1,0 +1,1 @@
+lib/repro/fig7_vs_time.ml: Error Estima Estima_counters Estima_machine Estima_workloads Lab List Machines Option Printf Render Series Suite Time_extrapolation

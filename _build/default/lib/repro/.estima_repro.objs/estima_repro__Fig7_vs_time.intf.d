@@ -1,0 +1,1 @@
+lib/repro/fig7_vs_time.mli:

@@ -1,0 +1,1 @@
+lib/repro/fig8_predictions.ml: Error Estima Estima_counters Estima_machine Estima_workloads Lab List Machines Option Predictor Printf Render Series Suite Time_extrapolation

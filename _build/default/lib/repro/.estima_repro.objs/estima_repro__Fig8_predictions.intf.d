@@ -1,0 +1,1 @@
+lib/repro/fig8_predictions.mli: Estima

@@ -1,0 +1,1 @@
+lib/repro/fig9_weak_scaling.ml: Error Estima Estima_counters Estima_machine Estima_sim Estima_workloads Lab List Machines Option Predictor Printf Render Series Spec Suite

@@ -1,0 +1,1 @@
+lib/repro/fig9_weak_scaling.mli:

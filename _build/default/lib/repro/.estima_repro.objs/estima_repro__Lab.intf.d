@@ -1,0 +1,1 @@
+lib/repro/lab.mli: Error Estima Estima_counters Estima_machine Estima_workloads Predictor Series Suite Time_extrapolation Topology

@@ -1,0 +1,1 @@
+lib/repro/render.ml: Array Estima List Printf String

@@ -1,0 +1,1 @@
+lib/repro/render.mli: Estima

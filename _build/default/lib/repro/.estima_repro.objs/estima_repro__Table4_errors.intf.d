@@ -1,0 +1,1 @@
+lib/repro/table4_errors.mli:

@@ -1,0 +1,1 @@
+lib/repro/table5_correlations.mli:

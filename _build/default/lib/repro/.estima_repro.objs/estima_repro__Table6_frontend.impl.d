@@ -1,0 +1,1 @@
+lib/repro/table6_frontend.ml: Array Estima_counters Estima_machine Estima_numerics Estima_sim Estima_workloads Lab List Machines Printf Render Series Stats Suite

@@ -1,0 +1,1 @@
+lib/repro/table6_frontend.mli:

@@ -1,0 +1,1 @@
+lib/repro/table7_xeon48.ml: Array Error Estima Estima_machine Estima_numerics Estima_sim Estima_workloads Lab List Machines Printf Render Stats Suite Vec

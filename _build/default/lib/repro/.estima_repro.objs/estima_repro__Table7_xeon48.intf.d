@@ -1,0 +1,1 @@
+lib/repro/table7_xeon48.mli:

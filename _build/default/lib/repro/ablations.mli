@@ -1,0 +1,32 @@
+(** Design-choice ablations (DESIGN.md section 5).
+
+    - Fine-grain vs aggregate stalls (paper Section 2.5): rerunning the
+      prediction with the five backend counters collapsed into a single
+      aggregate event; the aggregate behaves like time extrapolation and
+      misses inflections.
+    - Checkpoint count c in {2, 4} (Section 3.1.2).
+    - The anti-overfitting prefix sweep on/off. *)
+
+type aggregate_row = {
+  name : string;
+  fine_grain_error : float;
+  aggregate_error : float;
+  fine_grain_agrees : bool;
+  aggregate_agrees : bool;
+}
+
+type sensitivity_row = {
+  name : string;
+  c2_error : float;
+  c4_error : float;
+  single_prefix_error : float;
+}
+
+type result = {
+  aggregate : aggregate_row list;
+  sensitivity : sensitivity_row list;
+}
+
+val compute : unit -> result
+
+val run : unit -> unit

@@ -1,0 +1,32 @@
+let experiments =
+  [
+    ("F1", Fig1_kmeans_time.run);
+    ("F2", Fig2_correlation.run);
+    ("F5", Fig5_intruder_walkthrough.run);
+    ("F6", Fig6_production.run);
+    ("T4", Table4_errors.run);
+    ("F7", Fig7_vs_time.run);
+    ("F8", Fig8_predictions.run);
+    ("F9", Fig9_weak_scaling.run);
+    ("F10", Fig10_bottleneck.run);
+    ("T5", Table5_correlations.run);
+    ("F12", Fig12_low_corr.run);
+    ("T6", Table6_frontend.run);
+    ("F13", Fig13_software_stalls.run);
+    ("F15", Fig15_limitations.run);
+    ("F16", Fig16_numa.run);
+    ("T7", Table7_xeon48.run);
+    ("ABL", Ablations.run);
+  ]
+
+let run_all () = List.iter (fun (_, run) -> run ()) experiments
+
+let run_one id =
+  match List.assoc_opt (String.uppercase_ascii id) experiments with
+  | Some run ->
+      run ();
+      Ok ()
+  | None ->
+      Error
+        (Printf.sprintf "unknown experiment %S; valid ids: %s" id
+           (String.concat ", " (List.map fst experiments)))

@@ -1,0 +1,10 @@
+(** Run every reproduction in paper order. *)
+
+val experiments : (string * (unit -> unit)) list
+(** [(id, run)] for each table/figure plus the ablations. *)
+
+val run_all : unit -> unit
+
+val run_one : string -> (unit, string) result
+(** Run a single experiment by id (e.g. "T4", "F8"); [Error] lists the
+    valid ids when unknown. *)

@@ -1,0 +1,21 @@
+(** Figure 12: the lower-correlation cases of Table 5.
+
+    lock-based hash table on Xeon20 and lock-free skip list on Xeon48:
+    time and stalls per core have similar curves, but small out-of-sync
+    point-to-point changes depress the Pearson coefficient — without
+    breaking the extrapolation (Table 4 still predicts them well). *)
+
+type case = {
+  name : string;
+  machine : string;
+  grid : float array;
+  times : float array;
+  stalls_per_core : float array;
+  correlation : float;
+}
+
+type result = case list
+
+val compute : unit -> result
+
+val run : unit -> unit

@@ -1,0 +1,19 @@
+(** Figure 16: accounting for NUMA by measuring past the socket boundary
+    (Section 5.5).
+
+    On Xeon20, a 10-core window sees no cross-socket accesses; including a
+    few cores of the second socket (here 14) lets ESTIMA capture the NUMA
+    trends and improves full-machine predictions. *)
+
+type case = {
+  name : string;
+  error_from_10 : float;
+  error_from_14 : float;
+  improved : bool;
+}
+
+type result = case list
+
+val compute : unit -> result
+
+val run : unit -> unit

@@ -1,0 +1,21 @@
+(** Figure 1: time extrapolation mispredicts kmeans.
+
+    Direct extrapolation of kmeans' execution time from a 12-core window
+    predicts continued scaling up to 48 cores; the measured machine stops
+    improving far earlier.  This motivates using stalled cycles at all. *)
+
+type result = {
+  grid : float array;
+  baseline_times : float array;  (** Time-extrapolation prediction. *)
+  measured_times : float array;
+  baseline_verdict : Estima.Error.verdict;
+  measured_verdict : Estima.Error.verdict;
+}
+
+val compute : unit -> result
+
+val mispredicts : result -> bool
+(** True when time extrapolation claims continued scaling (or a far-off
+    stop) while the measured curve stops — the figure's point. *)
+
+val run : unit -> unit

@@ -1,0 +1,20 @@
+(** Figure 2: stalled cycles per core track execution time.
+
+    Full-machine sweeps of intruder and blackscholes on the Opteron; the
+    Pearson correlation between stalls per core (hardware + software) and
+    execution time is ~1.0 for both — the paper's foundational
+    observation. *)
+
+type workload_result = {
+  name : string;
+  grid : float array;
+  times : float array;
+  stalls_per_core : float array;
+  correlation : float;
+}
+
+type result = workload_result list
+
+val compute : unit -> result
+
+val run : unit -> unit

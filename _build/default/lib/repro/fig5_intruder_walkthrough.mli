@@ -1,0 +1,19 @@
+(** Figure 5: the step-by-step intruder prediction example (Section 3.2).
+
+    Measurements on one Opteron processor (12 cores), SwissTM abort cycles
+    enabled, prediction for the full 48-core machine: per-category
+    extrapolations (panels a-f), total stalls per core (g), the scaling
+    factor (h) and predicted vs measured execution time (i). *)
+
+type result = {
+  prediction : Estima.Predictor.t;
+  truth_times : float array;
+  per_core_minimum_inside_window : bool;
+      (** The paper's key observation: total stalls per core decrease up to
+          ~12 cores, then increase — the early warning of the slowdown. *)
+  error : Estima.Error.t;
+}
+
+val compute : unit -> result
+
+val run : unit -> unit

@@ -1,0 +1,68 @@
+open Estima_machine
+open Estima_workloads
+open Estima_counters
+open Estima
+
+type row = {
+  name : string;
+  estima_error : float;
+  baseline_error : float;
+  estima_agrees : bool;
+  baseline_agrees : bool;
+}
+
+type result = row list
+
+let workloads = [ "intruder"; "yada"; "kmeans"; "vacation-high"; "bodytrack"; "streamcluster" ]
+
+let one name =
+  let entry = Option.get (Suite.find name) in
+  let prediction =
+    Lab.predict ~entry ~measure_machine:Lab.opteron_1socket ~measure_max:12
+      ~target_machine:Machines.opteron48 ()
+  in
+  let truth = Lab.sweep ~entry ~machine:Machines.opteron48 () in
+  let error = Lab.errors_against_truth ~prediction ~truth () in
+  let baseline =
+    Lab.baseline ~entry ~measure_machine:Lab.opteron_1socket ~measure_max:12
+      ~target_machine:Machines.opteron48 ()
+  in
+  let baseline_error =
+    Error.evaluate ~predicted:baseline.Time_extrapolation.predicted_times
+      ~measured:(Series.times truth) ~target_grid:baseline.Time_extrapolation.target_grid ()
+  in
+  {
+    name;
+    estima_error = error.Error.max_error;
+    baseline_error = baseline_error.Error.max_error;
+    estima_agrees = error.Error.verdict_agrees;
+    baseline_agrees = baseline_error.Error.verdict_agrees;
+  }
+
+let compute () = List.map one workloads
+
+let estima_wins rows =
+  List.length
+    (List.filter
+       (fun r ->
+         (r.estima_agrees && not r.baseline_agrees)
+         || (r.estima_agrees = r.baseline_agrees && r.estima_error < r.baseline_error))
+       rows)
+
+let run () =
+  Render.heading "[F7] Figure 7 - ESTIMA vs time extrapolation (Opteron, measure 12 -> 48)";
+  let rows = compute () in
+  Render.table
+    ~header:[ "benchmark"; "ESTIMA err"; "time-extrap err"; "ESTIMA verdict"; "time-extrap verdict" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             r.name;
+             Render.pct r.estima_error;
+             Render.pct r.baseline_error;
+             (if r.estima_agrees then "correct" else "WRONG");
+             (if r.baseline_agrees then "correct" else "WRONG");
+           ])
+         rows);
+  Printf.printf "\nESTIMA wins on %d of %d divergent workloads\n%!" (estima_wins rows) (List.length rows)

@@ -1,0 +1,18 @@
+(** Figure 8: prediction curves for raytrace, intruder, yada and kmeans on
+    the Opteron (measure one processor, predict the full machine),
+    including the time-extrapolation comparator. *)
+
+type curve = {
+  name : string;
+  grid : float array;
+  predicted : float array;
+  baseline : float array;
+  measured : float array;
+  error : Estima.Error.t;
+}
+
+type result = curve list
+
+val compute : unit -> result
+
+val run : unit -> unit

@@ -1,0 +1,22 @@
+(** Figure 9: weak scaling (Section 4.5).
+
+    genome and intruder measured on one Xeon20 socket with the default
+    dataset, predicted for the full machine running a 2x dataset; the
+    ground truth is the full machine actually running the doubled dataset.
+    As in the paper, the single-core point is excluded from the error
+    statistics (the simple dataset scaling misses it). *)
+
+type curve = {
+  name : string;
+  grid : float array;
+  predicted : float array;
+  measured : float array;
+  max_error_excl_single : float;
+  verdict_agrees : bool;
+}
+
+type result = curve list
+
+val compute : unit -> result
+
+val run : unit -> unit

@@ -1,0 +1,88 @@
+open Estima_machine
+open Estima_counters
+open Estima_workloads
+open Estima
+
+let opteron_1socket = Machines.restrict_sockets Machines.opteron48 ~sockets:1
+
+let xeon20_1socket = Machines.restrict_sockets Machines.xeon20 ~sockets:1
+
+let opteron_2sockets = Machines.restrict_sockets Machines.opteron48 ~sockets:2
+
+let repetitions = 5
+
+let truth_seed_offset = 7919
+
+let cache : (string, Series.t) Hashtbl.t = Hashtbl.create 64
+
+let hits = ref 0
+
+let misses = ref 0
+
+let cache_key ~seed ~entry ~machine ~max_threads =
+  Printf.sprintf "%s|%s|%d|%d|%s" machine.Topology.name entry.Suite.spec.Estima_sim.Spec.name
+    max_threads seed
+    (String.concat "," (List.map (fun p -> p.Plugin.name) entry.Suite.plugins))
+
+let collect_cached ~seed ~entry ~machine ~max_threads =
+  let key = cache_key ~seed ~entry ~machine ~max_threads in
+  match Hashtbl.find_opt cache key with
+  | Some series ->
+      incr hits;
+      series
+  | None ->
+      incr misses;
+      let series =
+        Collector.collect
+          ~options:{ Collector.default_options with Collector.seed; plugins = entry.Suite.plugins; repetitions }
+          ~machine ~spec:entry.Suite.spec
+          ~thread_counts:(Collector.default_thread_counts ~max:max_threads)
+          ()
+      in
+      Hashtbl.replace cache key series;
+      series
+
+let measure ?(seed = 42) ~entry ~machine ~max_threads () = collect_cached ~seed ~entry ~machine ~max_threads
+
+let sweep ?(seed = 42) ~entry ~machine () =
+  collect_cached ~seed:(seed + truth_seed_offset) ~entry ~machine
+    ~max_threads:(Topology.cores machine)
+
+let sweep_threads ?(seed = 42) ~entry ~machine ~max_threads () =
+  collect_cached ~seed:(seed + truth_seed_offset) ~entry ~machine ~max_threads
+
+let predict ?software ?(checkpoints = Approximation.default_config.Approximation.checkpoints)
+    ?(dataset_factor = 1.0) ?target_threads ~entry ~measure_machine ~measure_max ~target_machine () =
+  let series = measure ~entry ~machine:measure_machine ~max_threads:measure_max () in
+  let include_software =
+    match software with Some s -> s | None -> entry.Suite.plugins <> []
+  in
+  let config =
+    {
+      Predictor.default_config with
+      Predictor.include_software;
+      frequency_scale = Frequency.time_scale ~measured_on:measure_machine ~target:target_machine;
+      dataset_factor;
+      approximation = { Approximation.default_config with Approximation.checkpoints };
+    }
+  in
+  let target_max = Option.value ~default:(Topology.cores target_machine) target_threads in
+  Predictor.predict ~config ~series ~target_max ()
+
+let errors_against_truth ~prediction ~truth ?(from_threads = 1) () =
+  Error.evaluate ~predicted:prediction.Predictor.predicted_times ~measured:(Series.times truth)
+    ~target_grid:prediction.Predictor.target_grid ~from_threads ()
+
+let max_error_upto (error : Error.t) ~threads =
+  List.fold_left
+    (fun acc (n, e) -> if n <= threads then Float.max acc e else acc)
+    0.0 error.Error.per_point
+
+let baseline ~entry ~measure_machine ~measure_max ~target_machine () =
+  let series = measure ~entry ~machine:measure_machine ~max_threads:measure_max () in
+  Time_extrapolation.predict ~threads:(Series.threads series) ~times:(Series.times series)
+    ~target_max:(Topology.cores target_machine)
+    ~frequency_scale:(Frequency.time_scale ~measured_on:measure_machine ~target:target_machine)
+    ()
+
+let cache_stats () = (!hits, !misses)

@@ -1,0 +1,49 @@
+let heading title =
+  let bar = String.make (String.length title + 4) '=' in
+  Printf.printf "\n%s\n| %s |\n%s\n%!" bar title bar
+
+let subheading title = Printf.printf "\n-- %s --\n%!" title
+
+let table ~header ~rows =
+  let ncols = List.length header in
+  List.iter
+    (fun row -> if List.length row <> ncols then invalid_arg "Render.table: ragged rows")
+    rows;
+  let all = header :: rows in
+  let widths =
+    List.init ncols (fun c ->
+        List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all)
+  in
+  let print_row row =
+    List.iteri
+      (fun c cell -> Printf.printf "%s%s  " cell (String.make (List.nth widths c - String.length cell) ' '))
+      row;
+    print_newline ()
+  in
+  print_row header;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows;
+  flush stdout
+
+let series ~title ~grid ~columns =
+  List.iter
+    (fun (name, values) ->
+      if Array.length values <> Array.length grid then
+        invalid_arg (Printf.sprintf "Render.series: column %s length mismatch" name))
+    columns;
+  subheading title;
+  let header = "cores" :: List.map fst columns in
+  let rows =
+    Array.to_list grid
+    |> List.mapi (fun i n ->
+           Printf.sprintf "%.0f" n :: List.map (fun (_, v) -> Printf.sprintf "%.4g" v.(i)) columns)
+  in
+  table ~header ~rows
+
+let pct x = Printf.sprintf "%.1f%%" (100.0 *. x)
+
+let time_s x = Printf.sprintf "%.4gs" x
+
+let float3 x = Printf.sprintf "%.3g" x
+
+let verdict = Estima.Error.verdict_to_string

@@ -1,0 +1,26 @@
+(** Text rendering for the reproduction harness: aligned tables and
+    numbered series, printed to stdout the way the paper's tables and
+    figure data would be tabulated. *)
+
+val heading : string -> unit
+(** Bannered section title, e.g. ["[T4] Table 4 - ..."]. *)
+
+val subheading : string -> unit
+
+val table : header:string list -> rows:string list list -> unit
+(** Column-aligned table.  Raises [Invalid_argument] on ragged rows. *)
+
+val series : title:string -> grid:float array -> columns:(string * float array) list -> unit
+(** Prints one row per grid point with each named column; columns must
+    match the grid length. *)
+
+val pct : float -> string
+(** [pct 0.123] is ["12.3%"]. *)
+
+val time_s : float -> string
+(** Seconds with engineering-friendly precision. *)
+
+val float3 : float -> string
+(** Three significant digits. *)
+
+val verdict : Estima.Error.verdict -> string

@@ -1,0 +1,18 @@
+(** Table 5: correlation of stalled cycles per core with execution time
+    over full-machine sweeps of all three machines (Opteron, Xeon20,
+    Xeon48).  Software stalls are included for the workloads whose runtime
+    reports them, matching the paper.  High correlations (mostly > 0.9)
+    justify the whole method; errors then stem from function
+    approximation, not from the stalls-tell-the-story assumption. *)
+
+type row = { name : string; opteron : float; xeon20 : float; xeon48 : float }
+
+type result = {
+  rows : row list;
+  average : float * float * float;
+  minimum : float * float * float;
+}
+
+val compute : unit -> result
+
+val run : unit -> unit

@@ -1,0 +1,21 @@
+(** Table 7: predictions targeting the Xeon48 from both sockets of Xeon20
+    (Section 5.5).
+
+    Measuring across both Xeon20 sockets captures NUMA effects; the
+    resulting Xeon48 predictions are better clustered (lower average,
+    standard deviation and maximum) than the single-socket Table 4
+    Xeon20 column. *)
+
+type row = { name : string; xeon20_error : float; xeon48_error : float }
+
+type summary = { average : float; std_dev : float; maximum : float }
+
+type result = {
+  rows : row list;
+  xeon20_summary : summary;  (** The Table 4 comparison column. *)
+  xeon48_summary : summary;
+}
+
+val compute : unit -> result
+
+val run : unit -> unit

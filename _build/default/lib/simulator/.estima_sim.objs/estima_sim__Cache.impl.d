@@ -1,0 +1,1 @@
+lib/simulator/cache.ml: Estima_machine Float Spec Topology

@@ -1,0 +1,1 @@
+lib/simulator/cache.mli: Estima_machine Spec

@@ -1,0 +1,1 @@
+lib/simulator/engine.ml: Allocation Array Cache Estima_machine Estima_numerics Float Hashtbl Ledger List Lock Memory Option Spec Stall Stm Topology

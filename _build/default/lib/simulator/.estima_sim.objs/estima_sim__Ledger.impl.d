@@ -1,0 +1,1 @@
+lib/simulator/ledger.ml: Array List Stall

@@ -1,0 +1,1 @@
+lib/simulator/lock.ml: Array Spec

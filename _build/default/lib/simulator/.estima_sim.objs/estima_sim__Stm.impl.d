@@ -1,0 +1,1 @@
+lib/simulator/stm.ml: Estima_numerics

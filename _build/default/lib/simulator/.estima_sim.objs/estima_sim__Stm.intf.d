@@ -1,0 +1,1 @@
+lib/simulator/stm.mli: Estima_numerics

@@ -1,0 +1,32 @@
+(** Analytic cache-hierarchy model.
+
+    Individual lines are not tracked; instead hit probabilities follow from
+    working-set size versus capacity, and every LLC miss becomes a real
+    request to the {!Memory} controllers — so while hit ratios are
+    analytic, bandwidth saturation and NUMA queueing remain emergent.
+
+    Placement model: private data is homed on the owning thread's socket;
+    shared data is homed on socket 0 (first touch by the initialising
+    thread), which concentrates shared-miss traffic exactly the way a
+    non-NUMA-aware in-memory application does. *)
+
+type plan = {
+  p_miss_private_to_llc : float;  (** Private-cache miss, LLC hit. *)
+  p_miss_private_data_memory : float;  (** Miss to DRAM for private data. *)
+  p_miss_shared_data_memory : float;  (** Miss to DRAM for shared data. *)
+}
+
+val plan :
+  Estima_machine.Topology.t ->
+  spec:Spec.t ->
+  threads:int ->
+  sockets_used:int ->
+  plan
+(** Hit/miss probabilities for one run configuration.  Working sets follow
+    from the spec's footprints; capacity from the machine's timing record;
+    LLC pressure aggregates every thread mapped to a socket. *)
+
+val coherence_probability : spec:Spec.t -> active_threads:int -> float
+(** Probability that a shared-data access pays a coherence transfer
+    (invalidation or dirty cache-to-cache hit), increasing with the number
+    of other threads writing shared lines.  In [0, 0.95]. *)

@@ -1,0 +1,353 @@
+open Estima_machine
+module Rng = Estima_numerics.Rng
+
+type thread_stats = {
+  ledger : Ledger.t;
+  finish_cycles : float;
+  ops_executed : int;
+  location : Topology.location;
+}
+
+type result = {
+  machine : Topology.t;
+  spec_name : string;
+  threads : int;
+  cycles : float;
+  time_seconds : float;
+  ledger : Ledger.t;
+  per_thread : thread_stats array;
+  ops_executed : int;
+  footprint_lines : int;
+  lock_contended : int;
+}
+
+type phase = Running | Parked of float | Done
+
+type thread_state = {
+  id : int;
+  loc : Topology.location;
+  rng : Rng.t;
+  led : Ledger.t;
+  mutable clock : float;
+  mutable ops_left : int;
+  mutable ops_done : int;
+  mutable ops_since_barrier : int;
+  mutable phase : phase;
+  smt_shared : bool;  (** An SMT sibling shares this physical core. *)
+}
+
+let branch_penalty_cycles = 15.0
+
+let barrier_base_cycles = 200.0
+
+(* Throughput loss when two SMT threads share a core: each runs at ~0.65 of
+   the solo rate, i.e. the same work takes ~1.35x the core cycles. *)
+let smt_slowdown = 1.35
+
+(* Stochastic rounding keeps expected access counts exact while issuing an
+   integral number of controller requests. *)
+let sround rng x =
+  let base = Float.to_int (Float.floor x) in
+  let frac = x -. Float.floor x in
+  if Rng.bool rng frac then base + 1 else base
+
+let shared_home_socket = 0
+
+let run ?(seed = 1) ~machine ~spec ~threads () =
+  (match Spec.validate spec with Ok () -> () | Error e -> invalid_arg ("Engine.run: " ^ e));
+  let placement = Allocation.place machine ~threads in
+  let sockets_used = Allocation.sockets_used placement in
+  let plan = Cache.plan machine ~spec ~threads ~sockets_used in
+  let memory = Memory.create machine in
+  let timing = machine.Topology.timing in
+  let llc_latency = float_of_int (timing.Topology.llc_hit_cycles - timing.Topology.l1_hit_cycles) in
+  (* Cache-to-cache transfer cost: the base (intra-chip) cost plus the
+     expected interconnect penalty for a transfer between two random
+     participating threads — cross-socket transfers pay the socket hop,
+     cross-chip (MCM) transfers the chip hop.  This is what makes shared
+     lines visibly more expensive once a run spans sockets. *)
+  let line_transfer =
+    let base = float_of_int (2 * timing.Topology.llc_hit_cycles) in
+    let n = Array.length placement in
+    if n <= 1 then base
+    else begin
+      let pairs = ref 0 and cross_socket = ref 0 and cross_chip = ref 0 in
+      Array.iteri
+        (fun i a ->
+          Array.iteri
+            (fun j b ->
+              if i < j then begin
+                incr pairs;
+                match Topology.numa_hops a b with
+                | 2 -> incr cross_socket
+                | 1 -> incr cross_chip
+                | _ -> ()
+              end)
+            placement)
+        placement;
+      let fp = float_of_int !pairs in
+      (* Directory-based transfers amortise part of the interconnect cost;
+         charge half the raw hop penalty per transfer. *)
+      base
+      +. (0.5 *. float_of_int !cross_socket /. fp
+         *. float_of_int timing.Topology.remote_socket_penalty_cycles)
+      +. (0.5 *. float_of_int !cross_chip /. fp
+         *. float_of_int timing.Topology.remote_chip_penalty_cycles)
+    end
+  in
+  let o = spec.Spec.op in
+  let ops_per_thread = Spec.ops_for spec ~threads in
+  (* barrier_every counts TOTAL operations per phase; each thread's share
+     of a phase shrinks as threads are added. *)
+  let barrier_interval =
+    Option.map (fun total -> max 1 (total / threads)) o.Spec.barrier_every
+  in
+  let root_rng = Rng.create seed in
+  (* Shared synchronisation structures. *)
+  let lock_bank =
+    match o.Spec.sync with
+    | Spec.Locked { kind; num_locks; _ } ->
+        Some (Lock.create kind ~count:num_locks ~line_transfer_cycles:line_transfer)
+    | _ -> None
+  in
+  let stm =
+    match o.Spec.sync with
+    | Spec.Transactional { reads; writes; key_space; abort_penalty_cycles } ->
+        Some (Stm.create ~reads ~writes ~key_space ~abort_penalty_cycles ~line_transfer_cycles:line_transfer)
+    | _ -> None
+  in
+  let core_key l = (l.Topology.socket, l.Topology.chip, l.Topology.core) in
+  let core_use = Hashtbl.create 64 in
+  Array.iter
+    (fun l ->
+      let k = core_key l in
+      Hashtbl.replace core_use k (1 + Option.value ~default:0 (Hashtbl.find_opt core_use k)))
+    placement;
+  let states =
+    Array.init threads (fun i ->
+        {
+          id = i;
+          loc = placement.(i);
+          rng = Rng.split root_rng;
+          led = Ledger.create ();
+          clock = 0.0;
+          ops_left = ops_per_thread;
+          ops_done = 0;
+          ops_since_barrier = 0;
+          phase = Running;
+          smt_shared = Hashtbl.find core_use (core_key placement.(i)) > 1;
+        })
+  in
+  let coherence_p = Cache.coherence_probability ~spec ~active_threads:threads in
+
+  (* --- per-op building blocks ------------------------------------- *)
+
+  (* Memory accesses: returns elapsed cycles; charges stall causes. *)
+  let memory_phase st ~reads ~writes =
+    let elapsed = ref 0.0 in
+    let accesses = reads + writes in
+    if accesses > 0 then begin
+      let fa = float_of_int accesses in
+      let shared_acc = fa *. o.Spec.shared_fraction in
+      let private_acc = fa -. shared_acc in
+      (* Private-cache misses that hit in the LLC. *)
+      let llc_hits = sround st.rng (fa *. plan.Cache.p_miss_private_to_llc) in
+      if llc_hits > 0 then begin
+        let cost = float_of_int llc_hits *. llc_latency in
+        Ledger.add st.led Stall.Miss_private cost;
+        elapsed := !elapsed +. cost
+      end;
+      (* DRAM fills for private data: homed on the thread's own socket. *)
+      let private_fills = sround st.rng (private_acc *. plan.Cache.p_miss_private_data_memory) in
+      for _ = 1 to private_fills do
+        let queue, total =
+          Memory.request memory ~socket:st.loc.Topology.socket ~chip:st.loc.Topology.chip
+            ~now:(st.clock +. !elapsed) ~hops:0
+        in
+        Ledger.add st.led Stall.Memory_queue queue;
+        Ledger.add st.led Stall.Miss_memory (total -. queue);
+        elapsed := !elapsed +. total
+      done;
+      (* DRAM fills for shared data: homed on socket 0 (first touch). *)
+      let shared_fills = sround st.rng (shared_acc *. plan.Cache.p_miss_shared_data_memory) in
+      for _ = 1 to shared_fills do
+        let home = { st.loc with Topology.socket = shared_home_socket; chip = 0 } in
+        let hops = Topology.numa_hops st.loc home in
+        let queue, total =
+          Memory.request memory ~socket:shared_home_socket ~chip:0 ~now:(st.clock +. !elapsed) ~hops
+        in
+        Ledger.add st.led Stall.Memory_queue queue;
+        Ledger.add st.led Stall.Miss_memory (total -. queue);
+        elapsed := !elapsed +. total
+      done;
+      (* Coherence transfers on shared lines. *)
+      let transfers = sround st.rng (shared_acc *. coherence_p) in
+      if transfers > 0 then begin
+        let cost = float_of_int transfers *. line_transfer in
+        Ledger.add st.led Stall.Coherence cost;
+        elapsed := !elapsed +. cost
+      end
+    end;
+    !elapsed
+  in
+
+  (* Compute phase: useful work plus the pipeline stalls tied to it. *)
+  let compute_phase st =
+    let base = Float.max 1.0 (Rng.gaussian st.rng ~mu:o.Spec.useful_cycles ~sigma:(o.Spec.useful_cycles *. o.Spec.useful_cv)) in
+    let useful = if st.smt_shared then base *. smt_slowdown else base in
+    Ledger.add_useful st.led useful;
+    let dep = useful *. o.Spec.dependency_factor in
+    Ledger.add st.led Stall.Dependency dep;
+    let fp = useful *. o.Spec.fp_fraction *. 0.35 in
+    Ledger.add st.led Stall.Fp_pressure fp;
+    let branch = o.Spec.branch_mpki *. useful /. 1000.0 *. branch_penalty_cycles in
+    Ledger.add st.led Stall.Branch_recovery branch;
+    Ledger.add st.led Stall.Frontend o.Spec.frontend_cycles;
+    useful +. dep +. fp +. branch +. o.Spec.frontend_cycles
+  in
+
+  (* One operation of thread [st]; advances its clock. *)
+  let execute_op st =
+    match o.Spec.sync with
+    | Spec.Transactional _ ->
+        (* The whole op body runs inside a transaction; aborted attempts
+           re-execute it.  Hardware counters see aborted work as ordinary
+           execution; SwissTM statistics expose it as software stall. *)
+        let body = compute_phase st +. memory_phase st ~reads:o.Spec.mem_reads ~writes:o.Spec.mem_writes in
+        let stm = Option.get stm in
+        let r = Stm.run_transaction stm ~rng:st.rng ~now:st.clock ~duration:body ~threads_active:threads in
+        if r.Stm.abort_cycles > 0.0 then begin
+          Ledger.add st.led Stall.Stm_abort r.Stm.abort_cycles;
+          Ledger.add st.led Stall.Coherence r.Stm.conflict_coherence
+        end;
+        st.clock <- r.Stm.commit_at +. r.Stm.conflict_coherence
+    | Spec.Locked { num_locks; cs_cycles; cs_mem_accesses; _ } ->
+        (* Body outside the critical section, then the protected update. *)
+        let body = compute_phase st +. memory_phase st ~reads:o.Spec.mem_reads ~writes:o.Spec.mem_writes in
+        st.clock <- st.clock +. body;
+        let bank = Option.get lock_bank in
+        (* Critical-section duration: its compute plus its memory accesses
+           at uncontended cost (they mostly hit the shared working set). *)
+        let cs_mem = float_of_int cs_mem_accesses *. (llc_latency *. 0.5) in
+        let hold = cs_cycles +. cs_mem in
+        let index = Rng.int st.rng num_locks in
+        let grant = Lock.acquire bank ~index ~now:st.clock ~hold_for:hold in
+        if grant.Lock.spin_cycles > 0.0 then Ledger.add st.led Stall.Lock_spin grant.Lock.spin_cycles;
+        if grant.Lock.handoff_coherence > 0.0 then
+          Ledger.add st.led Stall.Coherence grant.Lock.handoff_coherence;
+        if grant.Lock.cold_restart_cycles > 0.0 then
+          Ledger.add st.led Stall.Miss_private grant.Lock.cold_restart_cycles;
+        Ledger.add_useful st.led cs_cycles;
+        Ledger.add st.led Stall.Miss_private cs_mem;
+        st.clock <- grant.Lock.released_at
+    | Spec.Lock_free { cas_cost_cycles; retry_contention } ->
+        let body = compute_phase st +. memory_phase st ~reads:o.Spec.mem_reads ~writes:o.Spec.mem_writes in
+        st.clock <- st.clock +. body;
+        (* CAS retry loop: failures are hardware-visible coherence traffic. *)
+        let p_retry = Float.min 0.9 (retry_contention *. float_of_int (threads - 1)) in
+        let attempts = ref 1 in
+        while !attempts < 20 && Rng.bool st.rng p_retry do
+          incr attempts
+        done;
+        let failed = float_of_int (!attempts - 1) in
+        if failed > 0.0 then Ledger.add st.led Stall.Coherence (failed *. (cas_cost_cycles +. line_transfer));
+        Ledger.add_useful st.led cas_cost_cycles;
+        st.clock <- st.clock +. (float_of_int !attempts *. cas_cost_cycles) +. (failed *. line_transfer)
+    | Spec.No_sync ->
+        let body = compute_phase st +. memory_phase st ~reads:o.Spec.mem_reads ~writes:o.Spec.mem_writes in
+        st.clock <- st.clock +. body
+  in
+
+  (* Barrier release: all parked threads resume together. *)
+  let release_barrier () =
+    let parked = Array.to_list states |> List.filter (fun st -> match st.phase with Parked _ -> true | _ -> false) in
+    let arrival st = match st.phase with Parked t -> t | _ -> assert false in
+    let latest = List.fold_left (fun acc st -> Float.max acc (arrival st)) 0.0 parked in
+    (* Centralised barrier: the counter line bounces across participants.
+       A mutex-based barrier additionally pays a serialised wake-up chain
+       (the PARSEC trylock barrier of the paper's Section 4.6). *)
+    let per_thread_cost =
+      match o.Spec.barrier_kind with
+      | Spec.Spinlock -> line_transfer
+      | Spec.Mutex -> line_transfer +. (0.5 *. Lock.mutex_wake_penalty)
+    in
+    let overhead = barrier_base_cycles +. (per_thread_cost *. float_of_int (List.length parked)) in
+    let release = latest +. overhead in
+    List.iter
+      (fun st ->
+        let wait = release -. arrival st in
+        Ledger.add st.led Stall.Barrier_wait wait;
+        Ledger.add st.led Stall.Coherence (line_transfer *. 0.5);
+        st.clock <- release;
+        st.phase <- Running)
+      parked
+  in
+
+  (* --- main loop ---------------------------------------------------- *)
+  let finished = ref 0 in
+  while !finished < threads do
+    (* Advance the lagging runnable thread. *)
+    let next = ref None in
+    Array.iter
+      (fun st ->
+        match st.phase with
+        | Running -> (
+            match !next with
+            | Some best when best.clock <= st.clock -> ()
+            | _ -> next := Some st)
+        | Parked _ | Done -> ())
+      states;
+    match !next with
+    | None ->
+        (* Everyone alive is parked at the barrier. *)
+        release_barrier ()
+    | Some st ->
+        execute_op st;
+        st.ops_left <- st.ops_left - 1;
+        st.ops_done <- st.ops_done + 1;
+        st.ops_since_barrier <- st.ops_since_barrier + 1;
+        if st.ops_left = 0 then begin
+          st.phase <- Done;
+          incr finished
+        end
+        else begin
+          match barrier_interval with
+          | Some k when st.ops_since_barrier >= k ->
+              st.ops_since_barrier <- 0;
+              st.phase <- Parked st.clock;
+              (* If every running thread is now parked the next loop
+                 iteration releases them. *)
+              let runnable = Array.exists (fun s -> s.phase = Running) states in
+              if not runnable then release_barrier ()
+          | _ -> ()
+        end
+  done;
+  let per_thread =
+    Array.map
+      (fun st ->
+        { ledger = st.led; finish_cycles = st.clock; ops_executed = st.ops_done; location = st.loc })
+      states
+  in
+  let merged = Ledger.merge (Array.to_list (Array.map (fun st -> st.led) states)) in
+  let makespan = Array.fold_left (fun acc st -> Float.max acc st.clock) 0.0 states in
+  {
+    machine;
+    spec_name = spec.Spec.name;
+    threads;
+    cycles = makespan;
+    time_seconds = makespan /. (machine.Topology.frequency_ghz *. 1e9);
+    ledger = merged;
+    per_thread;
+    ops_executed = Array.fold_left (fun acc st -> acc + st.ops_done) 0 states;
+    footprint_lines = Spec.total_footprint_lines spec ~threads;
+    lock_contended = (match lock_bank with Some b -> Lock.contended_acquisitions b | None -> 0);
+  }
+
+let stalls_per_core result =
+  let hw = Ledger.total_hardware_backend result.ledger in
+  let sw =
+    List.fold_left
+      (fun acc c -> if Stall.is_software c then acc +. Ledger.get result.ledger c else acc)
+      0.0 Stall.all
+  in
+  (hw +. sw) /. float_of_int result.threads

@@ -1,0 +1,37 @@
+(** The simulation engine.
+
+    Executes a workload {!Spec.t} on a {!Estima_machine.Topology.t} at a
+    given thread count and returns the merged stall ledger, the makespan
+    and per-thread detail.  Threads are advanced in global-time order
+    (always the lagging thread next), so shared-resource queueing — locks,
+    memory controllers, barriers, STM conflicts — emerges from actual
+    interleaving rather than closed-form formulas. *)
+
+type thread_stats = {
+  ledger : Ledger.t;
+  finish_cycles : float;
+  ops_executed : int;
+  location : Estima_machine.Topology.location;
+}
+
+type result = {
+  machine : Estima_machine.Topology.t;
+  spec_name : string;
+  threads : int;
+  cycles : float;  (** Makespan: when the last thread finishes. *)
+  time_seconds : float;  (** Makespan divided by the clock frequency. *)
+  ledger : Ledger.t;  (** All threads merged. *)
+  per_thread : thread_stats array;
+  ops_executed : int;
+  footprint_lines : int;
+  lock_contended : int;  (** Contended lock acquisitions (diagnostics). *)
+}
+
+val run : ?seed:int -> machine:Estima_machine.Topology.t -> spec:Spec.t -> threads:int -> unit -> result
+(** Runs the workload to completion.  Deterministic for a given
+    [(machine, spec, threads, seed)].  Raises [Invalid_argument] when the
+    spec fails {!Spec.validate} or [threads] exceeds the machine. *)
+
+val stalls_per_core : result -> float
+(** Total stall cycles (hardware backend + software) divided by the thread
+    count: the quantity at the centre of the paper's method. *)

@@ -1,0 +1,34 @@
+type t = { stalls : float array; mutable useful_cycles : float }
+
+let create () = { stalls = Array.make Stall.count 0.0; useful_cycles = 0.0 }
+
+let add t cause amount =
+  if amount < 0.0 then invalid_arg "Ledger.add: negative amount";
+  let i = Stall.index cause in
+  t.stalls.(i) <- t.stalls.(i) +. amount
+
+let get t cause = t.stalls.(Stall.index cause)
+
+let add_useful t amount =
+  if amount < 0.0 then invalid_arg "Ledger.add_useful: negative amount";
+  t.useful_cycles <- t.useful_cycles +. amount
+
+let useful t = t.useful_cycles
+
+let merge ledgers =
+  let out = create () in
+  List.iter
+    (fun l ->
+      Array.iteri (fun i v -> out.stalls.(i) <- out.stalls.(i) +. v) l.stalls;
+      out.useful_cycles <- out.useful_cycles +. l.useful_cycles)
+    ledgers;
+  out
+
+let total_stalls t = Array.fold_left ( +. ) 0.0 t.stalls
+
+let total_hardware_backend t =
+  List.fold_left
+    (fun acc c -> if Stall.is_hardware_backend c then acc +. get t c else acc)
+    0.0 Stall.all
+
+let to_assoc t = List.map (fun c -> (c, get t c)) Stall.all

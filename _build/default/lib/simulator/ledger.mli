@@ -1,0 +1,29 @@
+(** Per-run stall accounting.
+
+    One ledger per simulated thread; the engine merges them into the run
+    result.  Cycle counts are floats (probabilistic cost models produce
+    fractional expectations). *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> Stall.cause -> float -> unit
+(** Negative amounts are rejected with [Invalid_argument]. *)
+
+val get : t -> Stall.cause -> float
+
+val add_useful : t -> float -> unit
+
+val useful : t -> float
+
+val merge : t list -> t
+(** Sum of all ledgers. *)
+
+val total_stalls : t -> float
+(** All causes, hardware and software. *)
+
+val total_hardware_backend : t -> float
+
+val to_assoc : t -> (Stall.cause * float) list
+(** Every cause in {!Stall.all} order. *)

@@ -1,0 +1,68 @@
+type t = {
+  kind : Spec.lock_kind;
+  free_at : float array;
+  line_transfer_cycles : float;
+  mutable contended : int;
+}
+
+type grant = {
+  acquired_at : float;
+  released_at : float;
+  spin_cycles : float;
+  handoff_coherence : float;
+  cold_restart_cycles : float;
+}
+
+let mutex_spin_threshold = 600.0
+
+let mutex_wake_penalty = 1500.0
+
+let create kind ~count ~line_transfer_cycles =
+  if count <= 0 then invalid_arg "Lock.create: need at least one lock";
+  { kind; free_at = Array.make count 0.0; line_transfer_cycles; contended = 0 }
+
+let acquire t ~index ~now ~hold_for =
+  if hold_for < 0.0 then invalid_arg "Lock.acquire: negative hold time";
+  let i = index mod Array.length t.free_at in
+  let i = if i < 0 then i + Array.length t.free_at else i in
+  let free = t.free_at.(i) in
+  if free <= now then begin
+    (* Uncontended: immediate grant, no handoff transfer. *)
+    let released_at = now +. hold_for in
+    t.free_at.(i) <- released_at;
+    { acquired_at = now; released_at; spin_cycles = 0.0; handoff_coherence = 0.0; cold_restart_cycles = 0.0 }
+  end
+  else begin
+    t.contended <- t.contended + 1;
+    let wait = free -. now in
+    (* Both kinds report the full wait as sync cycles: a pthread wrapper
+       measures elapsed TSC inside lock(), blocked or spinning alike.  The
+       mutex additionally pays the wake-up penalty on long waits, and
+       blocking deschedules the thread: waking re-fetches the lock word,
+       the protected data and whatever the scheduler evicted — roughly
+       half the wake-up penalty shows up in hardware counters as backend
+       (cache-refill) stalls. *)
+    let spin, extra_delay, cold_restart =
+      match t.kind with
+      | Spec.Spinlock -> (wait, 0.0, 0.0)
+      | Spec.Mutex ->
+          if wait <= mutex_spin_threshold then (wait, 0.0, 0.0)
+          else (wait, mutex_wake_penalty, 0.5 *. mutex_wake_penalty)
+    in
+    let acquired_at = free +. extra_delay +. t.line_transfer_cycles in
+    let released_at = acquired_at +. hold_for in
+    t.free_at.(i) <- released_at;
+    {
+      acquired_at;
+      released_at;
+      spin_cycles = spin;
+      handoff_coherence = t.line_transfer_cycles;
+      cold_restart_cycles = cold_restart;
+    }
+  end
+
+let reset t =
+  Array.fill t.free_at 0 (Array.length t.free_at) 0.0;
+  t.contended <- 0
+
+let contended_acquisitions t = t.contended

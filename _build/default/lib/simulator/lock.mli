@@ -1,0 +1,48 @@
+(** Lock queueing model.
+
+    A lock serialises critical sections: acquisitions are granted in FIFO
+    order, so a thread arriving at time [t] when the lock frees at [f > t]
+    waits [f - t] cycles.  How those waiting cycles are *spent* depends on
+    the lock kind:
+
+    - {!Spec.Spinlock}: the thread burns every waiting cycle spinning
+      (all waiting is software stall).
+    - {!Spec.Mutex}: pthread-style adaptive lock — spin briefly, then
+      block; blocked cycles are not executed (they still elapse), and
+      waking costs a context-switch penalty that lengthens the wait. *)
+
+type t
+
+type grant = {
+  acquired_at : float;  (** When the critical section begins. *)
+  released_at : float;  (** When the lock frees again. *)
+  spin_cycles : float;
+      (** Wall-clock cycles spent inside the acquire (spinning or blocked) —
+          what a pthread wrapper's TSC instrumentation reports. *)
+  handoff_coherence : float;
+      (** Cycles of cache-line transfer for the lock word on a contended
+          handoff (hardware coherence stall). *)
+  cold_restart_cycles : float;
+      (** Backend stall cycles visible after a blocked mutex waiter wakes:
+          the descheduled thread's cache state was evicted and must be
+          re-fetched.  Zero for spinlocks and un-blocked waits. *)
+}
+
+val create : Spec.lock_kind -> count:int -> line_transfer_cycles:float -> t
+(** A striped set of [count] locks.  [line_transfer_cycles] is the cost of
+    migrating the lock word between caches on contended acquire. *)
+
+val acquire : t -> index:int -> now:float -> hold_for:float -> grant
+(** [acquire t ~index ~now ~hold_for] requests lock [index mod count] at
+    time [now], holding it for [hold_for] cycles once granted. *)
+
+val reset : t -> unit
+
+val contended_acquisitions : t -> int
+(** Acquisitions that had to wait, since creation/reset. *)
+
+val mutex_spin_threshold : float
+(** Cycles a Mutex spins before blocking (adaptive-mutex model). *)
+
+val mutex_wake_penalty : float
+(** Extra cycles between lock release and a blocked waiter resuming. *)

@@ -1,0 +1,74 @@
+open Estima_machine
+
+(* Queueing is modelled statistically rather than by reserving ports with
+   absolute timestamps: threads execute whole operations at a time, so
+   their clocks are mutually skewed by up to an operation, and literal
+   timestamp reservations would let "future" requests block "past" ones.
+   Instead each controller measures its arrival rate — fills per cycle over
+   a fixed window of the controller's high-water clock — and charges an
+   M/M/c-style waiting time.  The loop is self-stabilising: overload
+   lengthens fills, which lengthens operations, which lowers the offered
+   load back towards the controller's capacity. *)
+
+type controller = {
+  mutable high_water : float;  (** Latest request time seen (monotone). *)
+  mutable window_start : float;
+  mutable window_fills : int;
+  mutable rate : float;  (** Fills per cycle over the last full window. *)
+  mutable fills : int;
+}
+
+type t = { machine : Topology.t; controllers : controller array }
+
+let window_cycles = 20_000.0
+
+let rho_cap = 0.98
+
+(* One controller per chip: multi-chip packages (the Opteron 6172 MCM)
+   expose one memory controller per die, so a single-socket measurement
+   window already shows load spreading across controllers. *)
+let controller_index t ~socket ~chip =
+  let chips = t.machine.Topology.chips_per_socket in
+  if socket < 0 || socket >= t.machine.Topology.sockets || chip < 0 || chip >= chips then
+    invalid_arg "Memory: unknown controller";
+  (socket * chips) + chip
+
+let create machine =
+  {
+    machine;
+    controllers =
+      Array.init
+        (machine.Topology.sockets * machine.Topology.chips_per_socket)
+        (fun _ -> { high_water = 0.0; window_start = 0.0; window_fills = 0; rate = 0.0; fills = 0 });
+  }
+
+let request t ~socket ~chip ~now ~hops =
+  let c = t.controllers.(controller_index t ~socket ~chip) in
+  let timing = t.machine.Topology.timing in
+  let service = float_of_int timing.Topology.memory_service_cycles in
+  let ports = float_of_int timing.Topology.memory_ports_per_controller in
+  c.high_water <- Float.max c.high_water now;
+  let elapsed = c.high_water -. c.window_start in
+  if elapsed >= window_cycles then begin
+    c.rate <- float_of_int c.window_fills /. elapsed;
+    c.window_start <- c.high_water;
+    c.window_fills <- 0
+  end;
+  c.window_fills <- c.window_fills + 1;
+  c.fills <- c.fills + 1;
+  let rho = Float.min rho_cap (c.rate *. service /. ports) in
+  let queue_delay = service *. rho *. rho /. (ports *. (1.0 -. rho)) in
+  let dram = float_of_int (Topology.memory_latency t.machine ~hops) in
+  (queue_delay, queue_delay +. dram)
+
+let reset t =
+  Array.iter
+    (fun c ->
+      c.high_water <- 0.0;
+      c.window_start <- 0.0;
+      c.window_fills <- 0;
+      c.rate <- 0.0;
+      c.fills <- 0)
+    t.controllers
+
+let total_fills t ~socket ~chip = t.controllers.(controller_index t ~socket ~chip).fills

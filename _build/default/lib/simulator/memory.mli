@@ -1,0 +1,31 @@
+(** Bandwidth-limited memory controllers.
+
+    One controller per chip (multi-chip packages like the Opteron 6172
+    expose a controller per die), each with a capacity of
+    [ports / service_cycles] line fills per cycle.  Queueing delay is
+    computed from the controller's measured arrival rate (EMA over
+    inter-arrival gaps) through an M/M/c-style waiting formula — a
+    skew-tolerant model, since simulated threads advance an operation at a
+    time and their clocks are not perfectly aligned.  Saturation is
+    self-stabilising: overload lengthens fills, which slows the offered
+    load back towards capacity while leaving large queueing stalls in the
+    ledger — the emergent bandwidth bottleneck that dominates saturating
+    workloads at high core counts. *)
+
+type t
+
+val create : Estima_machine.Topology.t -> t
+(** One controller per (socket, chip) of the machine. *)
+
+val request : t -> socket:int -> chip:int -> now:float -> hops:int -> float * float
+(** [request t ~socket ~chip ~now ~hops] issues a line fill to the given
+    chip's controller at time [now] from a requester [hops] NUMA hops
+    away.  Returns [(queue_delay, total_latency)]: the cycles charged to
+    controller queueing, and the full cycles until the fill completes
+    (queueing + DRAM latency including the NUMA penalty).  Raises
+    [Invalid_argument] for an unknown controller. *)
+
+val reset : t -> unit
+
+val total_fills : t -> socket:int -> chip:int -> int
+(** Fills serviced since creation/reset, for bandwidth accounting. *)

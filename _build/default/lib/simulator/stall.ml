@@ -1,0 +1,75 @@
+type cause =
+  | Miss_private
+  | Miss_memory
+  | Memory_queue
+  | Coherence
+  | Dependency
+  | Fp_pressure
+  | Branch_recovery
+  | Frontend
+  | Lock_spin
+  | Barrier_wait
+  | Stm_abort
+
+let all =
+  [
+    Miss_private;
+    Miss_memory;
+    Memory_queue;
+    Coherence;
+    Dependency;
+    Fp_pressure;
+    Branch_recovery;
+    Frontend;
+    Lock_spin;
+    Barrier_wait;
+    Stm_abort;
+  ]
+
+let label = function
+  | Miss_private -> "miss-private"
+  | Miss_memory -> "miss-memory"
+  | Memory_queue -> "memory-queue"
+  | Coherence -> "coherence"
+  | Dependency -> "dependency"
+  | Fp_pressure -> "fp-pressure"
+  | Branch_recovery -> "branch-recovery"
+  | Frontend -> "frontend"
+  | Lock_spin -> "lock-spin"
+  | Barrier_wait -> "barrier-wait"
+  | Stm_abort -> "stm-abort"
+
+let is_software = function Lock_spin | Barrier_wait | Stm_abort -> true | _ -> false
+
+let is_frontend = function Frontend -> true | _ -> false
+
+let is_hardware_backend c = not (is_software c) && not (is_frontend c)
+
+let index = function
+  | Miss_private -> 0
+  | Miss_memory -> 1
+  | Memory_queue -> 2
+  | Coherence -> 3
+  | Dependency -> 4
+  | Fp_pressure -> 5
+  | Branch_recovery -> 6
+  | Frontend -> 7
+  | Lock_spin -> 8
+  | Barrier_wait -> 9
+  | Stm_abort -> 10
+
+let count = 11
+
+let of_index = function
+  | 0 -> Miss_private
+  | 1 -> Miss_memory
+  | 2 -> Memory_queue
+  | 3 -> Coherence
+  | 4 -> Dependency
+  | 5 -> Fp_pressure
+  | 6 -> Branch_recovery
+  | 7 -> Frontend
+  | 8 -> Lock_spin
+  | 9 -> Barrier_wait
+  | 10 -> Stm_abort
+  | i -> invalid_arg (Printf.sprintf "Stall.of_index: %d" i)

@@ -1,0 +1,43 @@
+(** Physical stall causes tracked by the simulator.
+
+    The simulator attributes every non-useful cycle to one of these causes.
+    {!Estima_counters.Event} later maps causes onto vendor-specific
+    performance-counter event codes (AMD Table 2, Intel Table 3); keeping
+    the two vocabularies separate mirrors the paper's setup, where the same
+    application produces different counter sets on different machines. *)
+
+type cause =
+  | Miss_private  (** Private-cache miss served by the shared LLC. *)
+  | Miss_memory  (** LLC miss: DRAM latency (local or remote). *)
+  | Memory_queue  (** Queueing delay at a saturated memory controller. *)
+  | Coherence  (** Invalidations and cache-to-cache transfers. *)
+  | Dependency  (** Dependency-chain (reservation-station) pressure. *)
+  | Fp_pressure  (** Floating-point unit backlog. *)
+  | Branch_recovery  (** Branch misprediction recovery. *)
+  | Frontend  (** Instruction fetch/decode stalls (not used by default). *)
+  | Lock_spin  (** Software: spinning on a busy lock. *)
+  | Barrier_wait  (** Software: waiting at a barrier. *)
+  | Stm_abort  (** Software: cycles of aborted transactions. *)
+
+val all : cause list
+
+val label : cause -> string
+
+val is_software : cause -> bool
+(** Lock_spin, Barrier_wait and Stm_abort: only observable when the runtime
+    is instrumented (the paper's pthread wrapper / SwissTM statistics). *)
+
+val is_frontend : cause -> bool
+(** Frontend stalls are excluded from ESTIMA's default event set
+    (Section 5.2). *)
+
+val is_hardware_backend : cause -> bool
+(** The causes that vendor backend-stall counters observe. *)
+
+val index : cause -> int
+(** Dense index for ledger arrays; [0 <= index c < count]. *)
+
+val count : int
+
+val of_index : int -> cause
+(** Inverse of {!index}; raises [Invalid_argument] out of range. *)

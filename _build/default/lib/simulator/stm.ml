@@ -1,0 +1,66 @@
+type t = {
+  reads : int;
+  writes : int;
+  key_space : int;
+  abort_penalty_cycles : float;
+  line_transfer_cycles : float;
+  mutable committed_writes : float;
+}
+
+type attempt_result = {
+  commit_at : float;
+  aborted_attempts : int;
+  abort_cycles : float;
+  conflict_coherence : float;
+}
+
+let max_attempts = 64
+
+let create ~reads ~writes ~key_space ~abort_penalty_cycles ~line_transfer_cycles =
+  if key_space <= 0 then invalid_arg "Stm.create: empty key space";
+  if reads < 0 || writes < 0 then invalid_arg "Stm.create: negative set sizes";
+  { reads; writes; key_space; abort_penalty_cycles; line_transfer_cycles; committed_writes = 0.0 }
+
+let record_commit t ~writes_at =
+  ignore writes_at;
+  t.committed_writes <- t.committed_writes +. float_of_int t.writes
+
+let observed_write_rate t ~at = if at <= 0.0 then 0.0 else t.committed_writes /. at
+
+let run_transaction t ~rng ~now ~duration ~threads_active =
+  if duration < 0.0 then invalid_arg "Stm.run_transaction: negative duration";
+  if threads_active <= 0 then invalid_arg "Stm.run_transaction: no threads";
+  let footprint = float_of_int (t.reads + t.writes) in
+  let share_of_others = float_of_int (threads_active - 1) /. float_of_int threads_active in
+  let clock = ref now in
+  let aborts = ref 0 in
+  let abort_cycles = ref 0.0 in
+  let coherence = ref 0.0 in
+  let committed = ref false in
+  while not !committed do
+    (* Conflicting-write arrival rate over this attempt's window. *)
+    let rate = observed_write_rate t ~at:!clock *. share_of_others in
+    let lambda = rate *. duration *. footprint /. float_of_int t.key_space in
+    let p_abort = 1.0 -. exp (-.lambda) in
+    if !aborts < max_attempts - 1 && Estima_numerics.Rng.bool rng p_abort then begin
+      incr aborts;
+      (* The attempt runs (on average) half its window before the conflict
+         is detected on validation, then pays backoff that grows with the
+         retry count (contention management). *)
+      let backoff = t.abort_penalty_cycles *. float_of_int (min !aborts 10) in
+      let burnt = (0.5 *. duration) +. backoff in
+      abort_cycles := !abort_cycles +. burnt;
+      coherence := !coherence +. (float_of_int t.writes *. t.line_transfer_cycles);
+      (* Eager STM: the aborted attempt acquired its write locks before
+         failing validation, so it conflicts others just like a commit.
+         This positive feedback is what makes contended STM collapse. *)
+      t.committed_writes <- t.committed_writes +. float_of_int t.writes;
+      clock := !clock +. burnt
+    end
+    else begin
+      clock := !clock +. duration;
+      committed := true
+    end
+  done;
+  record_commit t ~writes_at:!clock;
+  { commit_at = !clock; aborted_attempts = !aborts; abort_cycles = !abort_cycles; conflict_coherence = !coherence }

@@ -1,0 +1,44 @@
+(** Software transactional memory runtime model (SwissTM-like).
+
+    A transaction reads [reads] and writes [writes] keys out of a
+    [key_space].  It aborts when another thread commits a write to one of
+    its keys during its window.  The conflict rate is computed from the
+    actual committed-write throughput of the other threads, so it rises
+    with the core count and with any lengthening of the transaction window
+    (e.g. from memory stalls) — the feedback that makes STM benchmarks
+    collapse at scale.
+
+    Aborted attempts burn their full duration plus a backoff penalty; those
+    cycles are what SwissTM's statistics report and what ESTIMA consumes as
+    software stalls (Section 3.2). *)
+
+type t
+
+type attempt_result = {
+  commit_at : float;  (** When the transaction finally commits. *)
+  aborted_attempts : int;
+  abort_cycles : float;  (** Cycles burnt in aborted attempts + backoff. *)
+  conflict_coherence : float;  (** Extra line transfers caused by retries. *)
+}
+
+val create :
+  reads:int ->
+  writes:int ->
+  key_space:int ->
+  abort_penalty_cycles:float ->
+  line_transfer_cycles:float ->
+  t
+
+val run_transaction :
+  t -> rng:Estima_numerics.Rng.t -> now:float -> duration:float -> threads_active:int -> attempt_result
+(** Execute one transaction of [duration] cycles starting at [now] with
+    [threads_active] concurrent threads.  Retries are capped; the cap
+    models contention management kicking in. *)
+
+val record_commit : t -> writes_at:float -> unit
+(** Tell the runtime a commit happened, feeding the global write-rate
+    estimate used for conflict probabilities. *)
+
+val observed_write_rate : t -> at:float -> float
+(** Committed writes per cycle across all threads, estimated over a recent
+    window. *)

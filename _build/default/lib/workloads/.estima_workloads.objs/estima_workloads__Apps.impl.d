@@ -1,0 +1,1 @@
+lib/workloads/apps.ml: Estima_sim Profile Spec

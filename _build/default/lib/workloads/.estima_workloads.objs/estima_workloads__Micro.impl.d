@@ -1,0 +1,1 @@
+lib/workloads/micro.ml: Estima_sim Profile Spec

@@ -1,0 +1,1 @@
+lib/workloads/parsec.ml: Estima_sim Profile Spec

@@ -1,0 +1,1 @@
+lib/workloads/stamp.ml: Estima_sim Profile Spec

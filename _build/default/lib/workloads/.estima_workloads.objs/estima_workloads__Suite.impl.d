@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Apps Estima_counters Estima_sim List Micro Parsec Spec Stamp String Variants

@@ -1,0 +1,1 @@
+lib/workloads/suite.mli: Estima_counters Estima_sim Spec

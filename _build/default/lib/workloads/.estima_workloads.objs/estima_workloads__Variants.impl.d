@@ -1,0 +1,1 @@
+lib/workloads/variants.ml: Estima_sim Parsec Spec Stamp

@@ -1,0 +1,1 @@
+lib/workloads/variants.mli: Estima_sim Spec

@@ -1,0 +1,24 @@
+open Estima_sim
+
+(* The cloudsuite dataset (10x scaling) is far larger than any LLC, so the
+   shared footprint dwarfs both the desktop's and the server's caches —
+   that is what makes frequency-only cross-machine scaling viable. *)
+let memcached =
+  Profile.make ~name:"memcached" ~total_ops:48_000 ~useful_cycles:300.0 ~mem_reads:16 ~mem_writes:2
+    ~shared_fraction:0.75 ~write_shared_fraction:0.08 ~private_footprint_lines:512
+    ~shared_footprint_lines:1_200_000 ~branch_mpki:2.0
+    ~sync:(Spec.Locked { kind = Spec.Mutex; num_locks = 8; cs_cycles = 240.0; cs_mem_accesses = 4 })
+    ()
+
+(* TPC-C at 10 GB: likewise far beyond every LLC. *)
+let sqlite_tpcc =
+  Profile.make ~name:"sqlite" ~total_ops:20_000 ~useful_cycles:1_400.0 ~useful_cv:0.15 ~mem_reads:14
+    ~mem_writes:5 ~shared_fraction:0.6 ~write_shared_fraction:0.2 ~private_footprint_lines:2_048
+    ~shared_footprint_lines:1_000_000 ~branch_mpki:3.0
+    ~sync:(Spec.Locked { kind = Spec.Mutex; num_locks = 1; cs_cycles = 400.0; cs_mem_accesses = 4 })
+    ()
+
+let knn =
+  Profile.make ~name:"K-NN" ~total_ops:36_000 ~useful_cycles:700.0 ~fp_fraction:0.5 ~mem_reads:24
+    ~mem_writes:1 ~shared_fraction:0.9 ~write_shared_fraction:0.0 ~private_footprint_lines:1_024
+    ~shared_footprint_lines:260_000 ~dependency_factor:0.15 ()

@@ -1,0 +1,21 @@
+(** Production applications and the KNN kernel.
+
+    [memcached] and [sqlite_tpcc] are the Section 4.3 cross-machine
+    subjects: measured on the Haswell desktop, predicted for Xeon20.
+    [knn] is the modified k-nearest-neighbours recommender kernel of
+    Section 4.4. *)
+
+open Estima_sim
+
+val memcached : Spec.t
+(** Read-mostly key-value serving (cloudsuite-style load, 550 B objects):
+    striped mutexes around the hash table plus a large shared dataset;
+    throughput saturates around a socket's worth of cores. *)
+
+val sqlite_tpcc : Spec.t
+(** SQLite in-memory running TPC-C: effectively one big mutex around the
+    database — stops scaling at a handful of cores, then degrades. *)
+
+val knn : Spec.t
+(** k-nearest-neighbours scoring over a large read-only model: FP plus
+    streaming reads; bandwidth-limited at scale. *)

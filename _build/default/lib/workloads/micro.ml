@@ -1,0 +1,32 @@
+open Estima_sim
+
+(* All four operate on a shared structure of a few MB with a 20% update
+   ratio folded into the per-op access mix. *)
+
+let lock_based_hashtable =
+  Profile.make ~name:"lock-based HT" ~total_ops:60_000 ~useful_cycles:220.0 ~mem_reads:3 ~mem_writes:1
+    ~shared_fraction:0.6 ~write_shared_fraction:0.12 ~shared_footprint_lines:40_000
+    ~private_footprint_lines:256 ~branch_mpki:0.8
+    ~sync:(Spec.Locked { kind = Spec.Spinlock; num_locks = 128; cs_cycles = 90.0; cs_mem_accesses = 2 })
+    ()
+
+let lock_based_skiplist =
+  Profile.make ~name:"lock-based SL" ~total_ops:48_000 ~useful_cycles:520.0 ~mem_reads:8 ~mem_writes:1
+    ~shared_fraction:0.7 ~write_shared_fraction:0.15 ~shared_footprint_lines:30_000
+    ~private_footprint_lines:256 ~branch_mpki:3.0 ~dependency_factor:0.2
+    ~sync:(Spec.Locked { kind = Spec.Spinlock; num_locks = 16; cs_cycles = 180.0; cs_mem_accesses = 3 })
+    ()
+
+let lock_free_hashtable =
+  Profile.make ~name:"lock-free HT" ~total_ops:60_000 ~useful_cycles:200.0 ~mem_reads:3 ~mem_writes:1
+    ~shared_fraction:0.6 ~write_shared_fraction:0.1 ~shared_footprint_lines:40_000
+    ~private_footprint_lines:256 ~branch_mpki:0.8
+    ~sync:(Spec.Lock_free { cas_cost_cycles = 30.0; retry_contention = 0.003 })
+    ()
+
+let lock_free_skiplist =
+  Profile.make ~name:"lock-free SL" ~total_ops:48_000 ~useful_cycles:540.0 ~mem_reads:8 ~mem_writes:2
+    ~shared_fraction:0.75 ~write_shared_fraction:0.2 ~shared_footprint_lines:30_000
+    ~private_footprint_lines:256 ~branch_mpki:3.0 ~dependency_factor:0.2
+    ~sync:(Spec.Lock_free { cas_cost_cycles = 40.0; retry_contention = 0.012 })
+    ()

@@ -1,0 +1,21 @@
+(** Data-structure microbenchmarks (the "standard data structure
+    micro-benchmarks used in [10]" of Section 4.4): lock-based and
+    lock-free hash tables and skip lists under a mixed read/update load. *)
+
+open Estima_sim
+
+val lock_based_hashtable : Spec.t
+(** Per-bucket (striped) spinlocks, short critical sections: scales well
+    with mild coherence growth. *)
+
+val lock_based_skiplist : Spec.t
+(** Coarser lazy-style locking with longer traversals: scales noticeably
+    worse than the hash table. *)
+
+val lock_free_hashtable : Spec.t
+(** CAS-based buckets, very low retry contention: the best scaler of the
+    four. *)
+
+val lock_free_skiplist : Spec.t
+(** CAS-based with multi-level updates: scales, but coherence traffic per
+    operation rises visibly with the core count. *)

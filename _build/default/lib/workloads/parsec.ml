@@ -1,0 +1,34 @@
+open Estima_sim
+
+let blackscholes =
+  Profile.make ~name:"blackscholes" ~total_ops:48_000 ~useful_cycles:800.0 ~fp_fraction:0.8
+    ~mem_reads:4 ~mem_writes:1 ~shared_fraction:0.02 ~write_shared_fraction:0.0
+    ~private_footprint_lines:2_000 ~shared_footprint_lines:1_000 ~dependency_factor:0.05 ()
+
+let bodytrack =
+  Profile.make ~name:"bodytrack" ~total_ops:40_000 ~useful_cycles:640.0 ~fp_fraction:0.5 ~mem_reads:8
+    ~mem_writes:2 ~shared_fraction:0.25 ~write_shared_fraction:0.05 ~private_footprint_lines:4_000
+    ~shared_footprint_lines:60_000 ~barrier_every:4_000 ~barrier_kind:Spec.Spinlock ()
+
+let canneal =
+  Profile.make ~name:"canneal" ~total_ops:36_000 ~useful_cycles:320.0 ~mem_reads:20 ~mem_writes:4
+    ~shared_fraction:0.6 ~write_shared_fraction:0.08 ~private_footprint_lines:2_000
+    ~shared_footprint_lines:500_000 ~branch_mpki:4.0
+    ~sync:(Spec.Lock_free { cas_cost_cycles = 40.0; retry_contention = 0.002 })
+    ()
+
+let raytrace =
+  Profile.make ~name:"raytrace" ~total_ops:40_000 ~useful_cycles:900.0 ~fp_fraction:0.4 ~mem_reads:6
+    ~mem_writes:0 ~shared_fraction:0.5 ~write_shared_fraction:0.0 ~private_footprint_lines:1_500
+    ~shared_footprint_lines:100_000 ~branch_mpki:2.5 ~dependency_factor:0.15 ()
+
+let streamcluster =
+  Profile.make ~name:"streamcluster" ~total_ops:30_000 ~useful_cycles:380.0 ~useful_cv:0.15
+    ~fp_fraction:0.3 ~mem_reads:26 ~mem_writes:2 ~shared_fraction:0.75 ~write_shared_fraction:0.04
+    ~private_footprint_lines:1_000 ~shared_footprint_lines:220_000 ~barrier_every:240
+    ~barrier_kind:Spec.Mutex ()
+
+let swaptions =
+  Profile.make ~name:"swaptions" ~total_ops:40_000 ~useful_cycles:1_100.0 ~fp_fraction:0.7
+    ~mem_reads:3 ~mem_writes:1 ~shared_fraction:0.01 ~write_shared_fraction:0.0
+    ~private_footprint_lines:1_200 ~shared_footprint_lines:500 ~dependency_factor:0.12 ()

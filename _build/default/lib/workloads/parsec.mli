@@ -1,0 +1,25 @@
+(** The six PARSEC benchmarks of the paper's evaluation (Bienia et al.,
+    PACT'08).  Pthread-based; streamcluster's mutex-built barriers are the
+    bottleneck the paper diagnoses in Section 4.6. *)
+
+open Estima_sim
+
+val blackscholes : Spec.t
+(** Option pricing: embarrassingly parallel, FP-heavy; near-linear. *)
+
+val bodytrack : Spec.t
+(** Computer-vision body tracking: parallel phases with barriers. *)
+
+val canneal : Spec.t
+(** Cache-aggressive simulated annealing with lock-free element swaps;
+    limited by memory bandwidth at scale. *)
+
+val raytrace : Spec.t
+(** Real-time raytracing over a large read-only scene; scales. *)
+
+val streamcluster : Spec.t
+(** Online clustering with very frequent mutex-based barriers plus heavy
+    streaming reads: collapses at high core counts. *)
+
+val swaptions : Spec.t
+(** Monte-Carlo swaption pricing: pure FP compute; near-linear. *)

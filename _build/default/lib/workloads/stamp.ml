@@ -1,0 +1,57 @@
+open Estima_sim
+
+let stm ~reads ~writes ~key_space =
+  Spec.Transactional { reads; writes; key_space; abort_penalty_cycles = 60.0 }
+
+let genome =
+  Profile.make ~name:"genome" ~total_ops:48_000 ~useful_cycles:420.0 ~mem_reads:6 ~mem_writes:2
+    ~shared_fraction:0.4 ~write_shared_fraction:0.15 ~shared_footprint_lines:120_000
+    ~private_footprint_lines:2_000 ~barrier_every:8_000
+    ~sync:(stm ~reads:8 ~writes:2 ~key_space:32_768)
+    ()
+
+let intruder =
+  Profile.make ~name:"intruder" ~total_ops:40_000 ~useful_cycles:300.0 ~useful_cv:0.12 ~mem_reads:8
+    ~mem_writes:3 ~shared_fraction:0.55 ~write_shared_fraction:0.4 ~shared_footprint_lines:60_000
+    ~private_footprint_lines:1_000 ~branch_mpki:4.0
+    ~sync:(stm ~reads:10 ~writes:6 ~key_space:2_560)
+    ()
+
+let kmeans =
+  Profile.make ~name:"kmeans" ~total_ops:36_000 ~useful_cycles:500.0 ~useful_cv:0.25 ~mem_reads:10
+    ~mem_writes:1 ~shared_fraction:0.8 ~write_shared_fraction:0.06 ~fp_fraction:0.6
+    ~shared_footprint_lines:160_000 ~private_footprint_lines:512 ~barrier_every:1_200
+    ~sync:(stm ~reads:4 ~writes:2 ~key_space:384)
+    ()
+
+let labyrinth =
+  Profile.make ~name:"labyrinth" ~total_ops:12_000 ~useful_cycles:2_200.0 ~mem_reads:24 ~mem_writes:12
+    ~shared_fraction:0.3 ~write_shared_fraction:0.25 ~shared_footprint_lines:80_000
+    ~private_footprint_lines:30_000 ~dependency_factor:0.15
+    ~sync:(stm ~reads:24 ~writes:12 ~key_space:32_768)
+    ()
+
+let ssca2 =
+  Profile.make ~name:"ssca2" ~total_ops:60_000 ~useful_cycles:260.0 ~mem_reads:12 ~mem_writes:2
+    ~shared_fraction:0.6 ~write_shared_fraction:0.1 ~shared_footprint_lines:260_000
+    ~private_footprint_lines:512
+    ~sync:(stm ~reads:2 ~writes:1 ~key_space:65_536)
+    ()
+
+let vacation ~name ~reads ~writes ~key_space =
+  Profile.make ~name ~total_ops:40_000 ~useful_cycles:520.0 ~mem_reads:10 ~mem_writes:3
+    ~shared_fraction:0.5 ~write_shared_fraction:0.2 ~shared_footprint_lines:150_000
+    ~private_footprint_lines:1_024 ~branch_mpki:2.0
+    ~sync:(stm ~reads ~writes ~key_space)
+    ()
+
+let vacation_high = vacation ~name:"vacation-high" ~reads:12 ~writes:5 ~key_space:2_048
+
+let vacation_low = vacation ~name:"vacation-low" ~reads:8 ~writes:2 ~key_space:8_192
+
+let yada =
+  Profile.make ~name:"yada" ~total_ops:24_000 ~useful_cycles:800.0 ~useful_cv:0.15 ~mem_reads:16
+    ~mem_writes:8 ~shared_fraction:0.6 ~write_shared_fraction:0.45 ~shared_footprint_lines:120_000
+    ~private_footprint_lines:4_096 ~branch_mpki:3.0
+    ~sync:(stm ~reads:16 ~writes:8 ~key_space:4_096)
+    ()

@@ -1,0 +1,36 @@
+(** The eight STAMP benchmarks (Minh et al., IISWC'08) as behavioural
+    profiles.  All use software transactional memory; their published
+    scalability on the paper's Opteron ranges from near-linear (genome,
+    ssca2) to collapse past one socket (intruder, yada) — the collapse
+    driven by STM conflict feedback and shared-data contention. *)
+
+open Estima_sim
+
+val genome : Spec.t
+(** Gene-sequence assembly: large key space, small write sets, phase
+    barriers; scales well. *)
+
+val intruder : Spec.t
+(** Network intrusion detection (Section 3.2's running example): heavy
+    contention on the shared packet structures; stops scaling around one
+    socket and then degrades. *)
+
+val kmeans : Spec.t
+(** Partition-based clustering: FP-heavy, iteration barriers, contended
+    cluster centres; degrades past mid core counts with noisy timings. *)
+
+val labyrinth : Spec.t
+(** Path routing with long transactions over a private grid copy. *)
+
+val ssca2 : Spec.t
+(** Graph kernel with tiny transactions over a huge key space; scales. *)
+
+val vacation_high : Spec.t
+(** Travel reservation system, high-contention configuration. *)
+
+val vacation_low : Spec.t
+(** Travel reservation system, low-contention configuration. *)
+
+val yada : Spec.t
+(** Delaunay mesh refinement: large read/write sets over a medium key
+    space; stops scaling in the mid range. *)

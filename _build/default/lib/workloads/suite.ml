@@ -1,0 +1,65 @@
+open Estima_sim
+module Plugin = Estima_counters.Plugin
+
+type family = Micro | Stamp | Parsec | Kernel | Application
+
+type entry = { spec : Spec.t; family : family; plugins : Plugin.t list }
+
+let stm_entry family spec = { spec; family; plugins = [ Plugin.swisstm ] }
+
+let pthread_entry family spec = { spec; family; plugins = [ Plugin.pthread_wrapper ] }
+
+let plain_entry family spec = { spec; family; plugins = [] }
+
+(* Table 4 row order: microbenchmarks, STAMP, PARSEC, K-NN. *)
+let benchmarks =
+  [
+    plain_entry Micro Micro.lock_based_hashtable;
+    plain_entry Micro Micro.lock_based_skiplist;
+    plain_entry Micro Micro.lock_free_hashtable;
+    plain_entry Micro Micro.lock_free_skiplist;
+    (* genome and ssca2 additionally expose pthread sync cycles in the
+       paper's Section 5.3 experiment; SwissTM stats subsume the plugin
+       here since their barriers dominate. *)
+    { spec = Stamp.genome; family = Stamp; plugins = [ Plugin.swisstm; Plugin.pthread_wrapper ] };
+    stm_entry Stamp Stamp.intruder;
+    stm_entry Stamp Stamp.kmeans;
+    stm_entry Stamp Stamp.labyrinth;
+    { spec = Stamp.ssca2; family = Stamp; plugins = [ Plugin.swisstm; Plugin.pthread_wrapper ] };
+    stm_entry Stamp Stamp.vacation_high;
+    stm_entry Stamp Stamp.vacation_low;
+    stm_entry Stamp Stamp.yada;
+    plain_entry Parsec Parsec.blackscholes;
+    plain_entry Parsec Parsec.bodytrack;
+    plain_entry Parsec Parsec.canneal;
+    plain_entry Parsec Parsec.raytrace;
+    pthread_entry Parsec Parsec.streamcluster;
+    plain_entry Parsec Parsec.swaptions;
+    plain_entry Kernel Apps.knn;
+  ]
+
+(* The production applications expose their mutex waits through the
+   pthread wrapper: in this substrate a blocked mutex waiter leaves almost
+   no hardware-counter trace (unlike real machines, where futex waits
+   perturb IPC), so the wrapper carries the synchronisation signal. *)
+let production =
+  [ pthread_entry Application Apps.memcached; pthread_entry Application Apps.sqlite_tpcc ]
+
+let variants =
+  [
+    pthread_entry Parsec Variants.streamcluster_spinlock;
+    stm_entry Stamp Variants.intruder_batched;
+  ]
+
+let all = benchmarks @ production @ variants
+
+let find name = List.find_opt (fun e -> String.equal e.spec.Spec.name name) all
+
+let names entries = List.map (fun e -> e.spec.Spec.name) entries
+
+let family_label = function
+  | Micro -> "micro"
+  | Stamp -> "stamp"
+  | Parsec -> "parsec"
+  | Kernel -> "kernel"
+  | Application -> "application"

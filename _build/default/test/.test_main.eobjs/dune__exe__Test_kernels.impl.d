@@ -1,0 +1,1 @@
+test/test_kernels.ml: Alcotest Array Catalogue Cubic_ln Estima_kernels Estima_numerics Exp_rat Fit Float Kernel List Lm Mat Poly25 Rational Vec

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Allocation Array Estima_machine Frequency Host List Machines Topology

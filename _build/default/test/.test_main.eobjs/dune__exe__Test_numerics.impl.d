@@ -1,0 +1,1 @@
+test/test_numerics.ml: Alcotest Array Estima_numerics Float Fun Linear_fit List Lm Mat Printf Qr Rng Stats Vec

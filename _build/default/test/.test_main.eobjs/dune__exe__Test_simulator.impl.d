@@ -1,0 +1,1 @@
+test/test_simulator.ml: Alcotest Array Cache Engine Estima_machine Estima_numerics Estima_sim Float Ledger List Lock Machines Memory Spec Stall Stm

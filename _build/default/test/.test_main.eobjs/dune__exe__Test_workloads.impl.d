@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Apps Engine Estima_counters Estima_machine Estima_sim Estima_workloads List Machines Micro Parsec Profile Spec Stamp Suite Variants

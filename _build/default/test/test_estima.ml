@@ -1,0 +1,416 @@
+(* Tests for the ESTIMA core pipeline: approximation, extrapolation,
+   scaling factor, predictor, baseline, errors, bottlenecks, experiment. *)
+
+open Estima_machine
+open Estima_workloads
+open Estima_counters
+open Estima
+
+let opteron1s = Machines.restrict_sockets Machines.opteron48 ~sockets:1
+
+let entry name = Option.get (Suite.find name)
+
+let collect ?(plugins = []) ?(machine = opteron1s) ?(max = 12) spec =
+  Collector.collect
+    ~options:{ Collector.default_options with Collector.seed = 42; plugins; repetitions = 3 }
+    ~machine ~spec
+    ~thread_counts:(Collector.default_thread_counts ~max)
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* Approximation                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_checkpoint_indices () =
+  Alcotest.(check (list int)) "last two of five" [ 3; 4 ] (Approximation.checkpoint_indices ~m:5 ~c:2);
+  Alcotest.(check (list int)) "last four" [ 8; 9; 10; 11 ] (Approximation.checkpoint_indices ~m:12 ~c:4)
+
+let test_approximate_recovers_generator () =
+  (* Data from a saturating curve; the winner must extrapolate it well. *)
+  let f x = 1e6 *. (2.0 +. (6.0 *. x /. (x +. 8.0))) in
+  let xs = Array.init 12 (fun i -> float_of_int (i + 1)) in
+  let ys = Array.map f xs in
+  match Approximation.approximate ~xs ~ys ~target_max:48.0 ~require_nonnegative:true () with
+  | None -> Alcotest.fail "no fit"
+  | Some choice ->
+      let predicted = choice.Approximation.fitted.Estima_kernels.Fit.eval 48.0 in
+      let actual = f 48.0 in
+      if Float.abs (predicted -. actual) > 0.15 *. actual then
+        Alcotest.failf "extrapolation off: %.3g vs %.3g" predicted actual
+
+let test_approximate_flat_stays_flat () =
+  (* A flat series with mild noise must not be extrapolated into growth. *)
+  let xs = Array.init 12 (fun i -> float_of_int (i + 1)) in
+  let ys = Array.mapi (fun i _ -> 1e6 *. (1.0 +. (0.01 *. sin (float_of_int i)))) xs in
+  match Approximation.approximate ~xs ~ys ~target_max:48.0 ~require_nonnegative:true () with
+  | None -> Alcotest.fail "no fit"
+  | Some choice ->
+      let predicted = choice.Approximation.fitted.Estima_kernels.Fit.eval 48.0 in
+      if predicted > 3e6 || predicted < 0.3e6 then Alcotest.failf "flat series drifted to %.3g" predicted
+
+let test_approximate_growing_keeps_growing () =
+  (* A clearly super-linear series must not get a saturating fit. *)
+  let xs = Array.init 12 (fun i -> float_of_int (i + 1)) in
+  let ys = Array.map (fun x -> 1e4 *. x *. x) xs in
+  match Approximation.approximate ~xs ~ys ~target_max:48.0 ~require_nonnegative:true () with
+  | None -> Alcotest.fail "no fit"
+  | Some choice ->
+      let at_window = choice.Approximation.fitted.Estima_kernels.Fit.eval 12.0 in
+      let at_target = choice.Approximation.fitted.Estima_kernels.Fit.eval 48.0 in
+      if at_target < 2.0 *. at_window then
+        Alcotest.failf "growth clipped: %.3g -> %.3g" at_window at_target
+
+let test_approximate_short_series_fallback () =
+  (* Three points (the paper's memcached case) use the polynomial fallback. *)
+  let xs = [| 1.0; 2.0; 3.0 |] and ys = [| 10.0; 14.0; 20.0 |] in
+  match Approximation.approximate ~xs ~ys ~target_max:20.0 ~require_nonnegative:true () with
+  | None -> Alcotest.fail "no fallback fit"
+  | Some choice ->
+      Alcotest.(check string) "fallback kernel" Approximation.fallback_kernel_name
+        choice.Approximation.fitted.Estima_kernels.Fit.kernel_name
+
+let test_approximate_rejects_bad_config () =
+  (try
+     ignore
+       (Approximation.approximate
+          ~config:{ Approximation.checkpoints = 0; min_prefix = 3 }
+          ~xs:[| 1.0 |] ~ys:[| 1.0 |] ~target_max:4.0 ~require_nonnegative:false ());
+     Alcotest.fail "bad config accepted"
+   with Invalid_argument _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Extrapolation                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let intruder_series ?(plugins = [ Plugin.swisstm ]) () = collect ~plugins (entry "intruder").Suite.spec
+
+let test_extrapolation_all_categories_fitted () =
+  let series = intruder_series () in
+  let e = Extrapolation.extrapolate ~series ~target_max:48 ~include_software:true ~include_frontend:false () in
+  Alcotest.(check int) "5 hw + 1 sw categories" 6 (List.length e.Extrapolation.fits);
+  Alcotest.(check int) "grid to 48" 48 (Array.length e.Extrapolation.target_grid)
+
+let test_extrapolation_software_toggle () =
+  let series = intruder_series () in
+  let no_sw = Extrapolation.extrapolate ~series ~target_max:48 ~include_software:false ~include_frontend:false () in
+  Alcotest.(check int) "hw only" 5 (List.length no_sw.Extrapolation.fits);
+  Alcotest.(check bool) "stm-abort absent" true
+    (match Extrapolation.category_values no_sw "stm-abort" with
+    | exception Not_found -> true
+    | _ -> false)
+
+let test_extrapolation_stalls_per_core_positive () =
+  let series = intruder_series () in
+  let e = Extrapolation.extrapolate ~series ~target_max:48 ~include_software:true ~include_frontend:false () in
+  Array.iter
+    (fun v -> if v < 0.0 || not (Float.is_finite v) then Alcotest.failf "bad stalls per core %g" v)
+    (Extrapolation.stalls_per_core e)
+
+let test_extrapolation_dominant_categories () =
+  let series = intruder_series () in
+  let e = Extrapolation.extrapolate ~series ~target_max:48 ~include_software:true ~include_frontend:false () in
+  let shares = Extrapolation.dominant_categories e ~at:48.0 in
+  let total = List.fold_left (fun acc (_, s) -> acc +. s) 0.0 shares in
+  Alcotest.(check (float 1e-9)) "shares sum to 1" 1.0 total;
+  (* Sorted descending. *)
+  let rec sorted = function
+    | (_, a) :: ((_, b) :: _ as rest) -> a >= b && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "sorted" true (sorted shares)
+
+let test_extrapolation_zero_fit () =
+  let zf = Extrapolation.zero_fit "empty" [| 0.0; 0.0 |] in
+  Alcotest.(check (float 0.0)) "zero everywhere" 0.0
+    (zf.Extrapolation.choice.Approximation.fitted.Estima_kernels.Fit.eval 48.0)
+
+let test_extrapolation_target_below_window_rejected () =
+  let series = intruder_series () in
+  (try
+     ignore (Extrapolation.extrapolate ~series ~target_max:6 ~include_software:false ~include_frontend:false ());
+     Alcotest.fail "target below window accepted"
+   with Invalid_argument _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Scaling factor                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_scaling_factor_constant_data () =
+  (* time = 3 * stalls/core exactly: the factor must be ~3 everywhere. *)
+  let threads = Array.init 8 (fun i -> float_of_int (i + 1)) in
+  let spc = Array.map (fun n -> 100.0 /. n) threads in
+  let times = Array.map (fun s -> 3.0 *. s) spc in
+  let grid = Array.init 16 (fun i -> float_of_int (i + 1)) in
+  let spc_grid = Array.map (fun n -> 100.0 /. n) grid in
+  let f =
+    Scaling_factor.fit ~threads ~times ~stalls_per_core_measured:spc ~stalls_per_core_grid:spc_grid
+      ~target_grid:grid ()
+  in
+  let predicted = Scaling_factor.predict_times f ~stalls_per_core_grid:spc_grid ~target_grid:grid in
+  Array.iteri
+    (fun i n ->
+      let expected = 3.0 *. (100.0 /. n) in
+      if Float.abs (predicted.(i) -. expected) > 0.05 *. expected then
+        Alcotest.failf "factor wrong at %g: %.3g vs %.3g" n predicted.(i) expected)
+    grid
+
+let test_scaling_factor_correlation_high () =
+  let series = intruder_series () in
+  let p = Predictor.predict ~series ~target_max:48 () in
+  if Float.is_finite p.Predictor.factor.Scaling_factor.correlation then
+    Alcotest.(check bool) "correlation above 0.9" true
+      (p.Predictor.factor.Scaling_factor.correlation > 0.9)
+
+let test_scaling_factor_rejects_nonpositive_stalls () =
+  (try
+     ignore
+       (Scaling_factor.fit ~threads:[| 1.0; 2.0 |] ~times:[| 1.0; 1.0 |]
+          ~stalls_per_core_measured:[| 1.0; 0.0 |] ~stalls_per_core_grid:[| 1.0; 1.0 |]
+          ~target_grid:[| 1.0; 2.0 |] ());
+     Alcotest.fail "accepted zero stalls"
+   with Invalid_argument _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Predictor                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_predictor_grid_and_window () =
+  let series = intruder_series () in
+  let p = Predictor.predict ~series ~target_max:48 () in
+  Alcotest.(check int) "measured window" 12 (Predictor.measured_window p);
+  Alcotest.(check int) "48 predictions" 48 (Array.length p.Predictor.predicted_times);
+  Alcotest.(check (float 1e-12)) "accessor" p.Predictor.predicted_times.(23)
+    (Predictor.predicted_time_at p ~threads:24);
+  (try
+     ignore (Predictor.predicted_time_at p ~threads:49);
+     Alcotest.fail "out of grid accepted"
+   with Invalid_argument _ -> ())
+
+let test_predictor_matches_measured_region () =
+  (* Within the measurement window the prediction should track the
+     measured times closely. *)
+  let series = intruder_series () in
+  let p = Predictor.predict ~config:{ Predictor.default_config with Predictor.include_software = true }
+      ~series ~target_max:48 ()
+  in
+  let times = Series.times series in
+  Array.iteri
+    (fun i t ->
+      let predicted = p.Predictor.predicted_times.(i) in
+      if Float.abs (predicted -. t) > 0.35 *. t then
+        Alcotest.failf "window tracking off at %d: %.4g vs %.4g" (i + 1) predicted t)
+    times
+
+let test_predictor_frequency_scaling () =
+  let series = intruder_series () in
+  let base = Predictor.predict ~series ~target_max:48 () in
+  let scaled =
+    Predictor.predict
+      ~config:{ Predictor.default_config with Predictor.frequency_scale = 2.0 }
+      ~series ~target_max:48 ()
+  in
+  (* Doubling the time scale must roughly double predictions. *)
+  let ratio = scaled.Predictor.predicted_times.(20) /. base.Predictor.predicted_times.(20) in
+  if ratio < 1.5 || ratio > 2.5 then Alcotest.failf "frequency scale not applied: ratio %.2f" ratio
+
+let test_predictor_dataset_factor () =
+  let series = intruder_series () in
+  let base = Predictor.predict ~series ~target_max:48 () in
+  let scaled =
+    Predictor.predict
+      ~config:{ Predictor.default_config with Predictor.dataset_factor = 2.0 }
+      ~series ~target_max:48 ()
+  in
+  let ratio = scaled.Predictor.predicted_times.(20) /. base.Predictor.predicted_times.(20) in
+  if ratio < 1.2 then Alcotest.failf "dataset factor not applied: ratio %.2f" ratio
+
+let test_predictor_category_kernels_reported () =
+  let series = intruder_series () in
+  let p = Predictor.predict ~series ~target_max:48 () in
+  let kernels = Predictor.category_kernels p in
+  Alcotest.(check int) "five hw categories" 5 (List.length kernels);
+  List.iter (fun (_, k) -> Alcotest.(check bool) "kernel named" true (String.length k > 0)) kernels
+
+let test_predictor_invalid_config () =
+  let series = intruder_series () in
+  (try
+     ignore
+       (Predictor.predict
+          ~config:{ Predictor.default_config with Predictor.frequency_scale = 0.0 }
+          ~series ~target_max:48 ());
+     Alcotest.fail "zero frequency scale accepted"
+   with Invalid_argument _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Time extrapolation baseline                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_time_extrapolation_basic () =
+  let threads = Array.init 12 (fun i -> float_of_int (i + 1)) in
+  let times = Array.map (fun n -> 1.0 /. n) threads in
+  let t = Time_extrapolation.predict ~threads ~times ~target_max:48 () in
+  Alcotest.(check int) "grid" 48 (Array.length t.Time_extrapolation.predicted_times);
+  (* A perfectly scaling curve stays decreasing. *)
+  let p = t.Time_extrapolation.predicted_times in
+  Alcotest.(check bool) "still scaling at 48" true (p.(47) < p.(11))
+
+let test_time_extrapolation_frequency () =
+  let threads = Array.init 12 (fun i -> float_of_int (i + 1)) in
+  let times = Array.map (fun n -> 1.0 /. n) threads in
+  let a = Time_extrapolation.predict ~threads ~times ~target_max:24 () in
+  let b = Time_extrapolation.predict ~threads ~times ~target_max:24 ~frequency_scale:2.0 () in
+  let ratio = b.Time_extrapolation.predicted_times.(5) /. a.Time_extrapolation.predicted_times.(5) in
+  if Float.abs (ratio -. 2.0) > 0.2 then Alcotest.failf "frequency scale off: %.2f" ratio
+
+(* ------------------------------------------------------------------ *)
+(* Error metrics                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_error_max_and_mean () =
+  let e =
+    Error.evaluate ~predicted:[| 1.1; 2.0; 3.6 |] ~measured:[| 1.0; 2.0; 3.0 |]
+      ~target_grid:[| 1.0; 2.0; 3.0 |] ()
+  in
+  Alcotest.(check (float 1e-9)) "max" 0.2 e.Error.max_error;
+  Alcotest.(check (float 1e-9)) "mean" 0.1 e.Error.mean_error
+
+let test_error_from_threads () =
+  let e =
+    Error.evaluate ~predicted:[| 2.0; 2.0; 3.0 |] ~measured:[| 1.0; 2.0; 3.0 |]
+      ~target_grid:[| 1.0; 2.0; 3.0 |] ~from_threads:2 ()
+  in
+  Alcotest.(check (float 1e-9)) "single-core excluded" 0.0 e.Error.max_error
+
+let test_scaling_verdicts () =
+  let grid = Array.init 10 (fun i -> float_of_int (i + 1)) in
+  let scaling = Array.map (fun n -> 1.0 /. n) grid in
+  Alcotest.(check bool) "scales" true (Error.scaling_verdict ~times:scaling ~grid () = Error.Scales);
+  let stops = Array.map (fun n -> if n <= 5.0 then 1.0 /. n else 0.2 +. (0.1 *. (n -. 5.0))) grid in
+  (match Error.scaling_verdict ~times:stops ~grid () with
+  | Error.Stops_at k -> Alcotest.(check int) "stops near 5" 5 k
+  | Error.Scales -> Alcotest.fail "missed the stop")
+
+let test_verdict_agreement () =
+  Alcotest.(check bool) "both scale" true (Error.agreement ~predicted:Error.Scales ~measured:Error.Scales);
+  Alcotest.(check bool) "close stops" true
+    (Error.agreement ~predicted:(Error.Stops_at 14) ~measured:(Error.Stops_at 19));
+  Alcotest.(check bool) "far stops" false
+    (Error.agreement ~predicted:(Error.Stops_at 4) ~measured:(Error.Stops_at 40));
+  Alcotest.(check bool) "opposite" false (Error.agreement ~predicted:Error.Scales ~measured:(Error.Stops_at 8))
+
+let test_error_rejects_bad_input () =
+  (try
+     ignore (Error.evaluate ~predicted:[| 1.0 |] ~measured:[| 1.0; 2.0 |] ~target_grid:[| 1.0; 2.0 |] ());
+     Alcotest.fail "length mismatch accepted"
+   with Invalid_argument _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Bottleneck                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_bottleneck_intruder_stm () =
+  (* With software stalls on, intruder's future bottleneck must be the
+     aborted transactions (the Section 4.6 finding). *)
+  let series = intruder_series () in
+  let p =
+    Predictor.predict ~config:{ Predictor.default_config with Predictor.include_software = true }
+      ~series ~target_max:48 ()
+  in
+  let analysis = Bottleneck.analyze p in
+  let top3 = List.filteri (fun i _ -> i < 3) analysis.Bottleneck.findings in
+  Alcotest.(check bool) "stm-abort in top 3" true
+    (List.exists (fun f -> f.Bottleneck.category = "stm-abort") top3);
+  let abort = List.find (fun f -> f.Bottleneck.category = "stm-abort") analysis.Bottleneck.findings in
+  Alcotest.(check bool) "abort share grows" true
+    (abort.Bottleneck.share_at_target > abort.Bottleneck.share_now);
+  Alcotest.(check bool) "hint present" true (abort.Bottleneck.hint <> None)
+
+let test_bottleneck_streamcluster_sync () =
+  let series = collect ~plugins:[ Plugin.pthread_wrapper ] (entry "streamcluster").Suite.spec in
+  let p =
+    Predictor.predict ~config:{ Predictor.default_config with Predictor.include_software = true }
+      ~series ~target_max:48 ()
+  in
+  let analysis = Bottleneck.analyze p in
+  let sync = List.find_opt (fun f -> f.Bottleneck.category = "pthread-sync") analysis.Bottleneck.findings in
+  match sync with
+  | None -> Alcotest.fail "pthread-sync not analysed"
+  | Some f -> Alcotest.(check bool) "sync significant at target" true (f.Bottleneck.share_at_target > 0.1)
+
+let test_bottleneck_hints () =
+  Alcotest.(check bool) "pthread hint" true (Bottleneck.hint_for "pthread-sync" <> None);
+  Alcotest.(check bool) "stm hint" true (Bottleneck.hint_for "stm-abort" <> None);
+  Alcotest.(check bool) "hw no hint" true (Bottleneck.hint_for "0D8h" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Experiment protocol                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_experiment_runs_end_to_end () =
+  let setup =
+    Experiment.default_setup ~entry:(entry "blackscholes") ~measure_machine:opteron1s
+      ~target_machine:Machines.opteron48
+  in
+  let o = Experiment.run setup in
+  Alcotest.(check bool) "verdicts agree for blackscholes" true o.Experiment.error.Error.verdict_agrees;
+  Alcotest.(check bool) "error under 30%" true (o.Experiment.error.Error.max_error < 0.30);
+  Alcotest.(check int) "truth sweeps full machine" 48 (Array.length o.Experiment.truth.Series.samples)
+
+let test_experiment_max_error_from () =
+  let setup =
+    Experiment.default_setup ~entry:(entry "blackscholes") ~measure_machine:opteron1s
+      ~target_machine:Machines.opteron48
+  in
+  let o = Experiment.run setup in
+  let all = Experiment.max_error_from o ~from_threads:1 in
+  let tail = Experiment.max_error_from o ~from_threads:13 in
+  Alcotest.(check bool) "restricting cannot raise the max" true (tail <= all +. 1e-12)
+
+let test_experiment_cross_machine_frequency () =
+  (* Desktop -> server prediction applies the clock ratio automatically. *)
+  let setup =
+    Experiment.default_setup ~entry:(entry "memcached") ~measure_machine:Machines.haswell_desktop
+      ~target_machine:Machines.xeon20
+  in
+  let setup = { setup with Experiment.measure_threads = [ 1; 2; 3 ] } in
+  let o = Experiment.run setup in
+  Alcotest.(check (float 1e-9)) "frequency scale recorded" (3.4 /. 2.8)
+    o.Experiment.prediction.Predictor.config.Predictor.frequency_scale
+
+let suite =
+  [
+    ("checkpoint indices", `Quick, test_checkpoint_indices);
+    ("approximate recovers generator", `Quick, test_approximate_recovers_generator);
+    ("approximate flat stays flat", `Quick, test_approximate_flat_stays_flat);
+    ("approximate growing keeps growing", `Quick, test_approximate_growing_keeps_growing);
+    ("approximate short series fallback", `Quick, test_approximate_short_series_fallback);
+    ("approximate rejects bad config", `Quick, test_approximate_rejects_bad_config);
+    ("extrapolation all categories fitted", `Quick, test_extrapolation_all_categories_fitted);
+    ("extrapolation software toggle", `Quick, test_extrapolation_software_toggle);
+    ("extrapolation stalls per core positive", `Quick, test_extrapolation_stalls_per_core_positive);
+    ("extrapolation dominant categories", `Quick, test_extrapolation_dominant_categories);
+    ("extrapolation zero fit", `Quick, test_extrapolation_zero_fit);
+    ("extrapolation target below window rejected", `Quick, test_extrapolation_target_below_window_rejected);
+    ("scaling factor constant data", `Quick, test_scaling_factor_constant_data);
+    ("scaling factor correlation high", `Quick, test_scaling_factor_correlation_high);
+    ("scaling factor rejects nonpositive stalls", `Quick, test_scaling_factor_rejects_nonpositive_stalls);
+    ("predictor grid and window", `Quick, test_predictor_grid_and_window);
+    ("predictor matches measured region", `Quick, test_predictor_matches_measured_region);
+    ("predictor frequency scaling", `Quick, test_predictor_frequency_scaling);
+    ("predictor dataset factor", `Quick, test_predictor_dataset_factor);
+    ("predictor category kernels reported", `Quick, test_predictor_category_kernels_reported);
+    ("predictor invalid config", `Quick, test_predictor_invalid_config);
+    ("time extrapolation basic", `Quick, test_time_extrapolation_basic);
+    ("time extrapolation frequency", `Quick, test_time_extrapolation_frequency);
+    ("error max and mean", `Quick, test_error_max_and_mean);
+    ("error from threads", `Quick, test_error_from_threads);
+    ("scaling verdicts", `Quick, test_scaling_verdicts);
+    ("verdict agreement", `Quick, test_verdict_agreement);
+    ("error rejects bad input", `Quick, test_error_rejects_bad_input);
+    ("bottleneck intruder stm", `Quick, test_bottleneck_intruder_stm);
+    ("bottleneck streamcluster sync", `Quick, test_bottleneck_streamcluster_sync);
+    ("bottleneck hints", `Quick, test_bottleneck_hints);
+    ("experiment end to end", `Slow, test_experiment_runs_end_to_end);
+    ("experiment max error from", `Slow, test_experiment_max_error_from);
+    ("experiment cross machine frequency", `Slow, test_experiment_cross_machine_frequency);
+  ]

@@ -1,0 +1,150 @@
+(* Tests for topology, machines, allocation and frequency scaling. *)
+
+open Estima_machine
+
+let test_machine_inventory () =
+  Alcotest.(check int) "four machines" 4 (List.length Machines.all);
+  List.iter
+    (fun m ->
+      match Topology.validate m with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "invalid machine: %s" e)
+    Machines.all
+
+let test_core_counts () =
+  Alcotest.(check int) "haswell cores" 4 (Topology.cores Machines.haswell_desktop);
+  Alcotest.(check int) "haswell threads" 8 (Topology.hardware_threads Machines.haswell_desktop);
+  Alcotest.(check int) "opteron cores" 48 (Topology.cores Machines.opteron48);
+  Alcotest.(check int) "xeon20 cores" 20 (Topology.cores Machines.xeon20);
+  Alcotest.(check int) "xeon20 threads" 40 (Topology.hardware_threads Machines.xeon20);
+  Alcotest.(check int) "xeon48 cores" 48 (Topology.cores Machines.xeon48)
+
+let test_find () =
+  Alcotest.(check bool) "find opteron48" true (Machines.find "opteron48" = Some Machines.opteron48);
+  Alcotest.(check bool) "find nothing" true (Machines.find "sparc" = None)
+
+let test_restrict_sockets () =
+  let one = Machines.restrict_sockets Machines.opteron48 ~sockets:1 in
+  Alcotest.(check int) "one socket, 12 cores" 12 (Topology.cores one);
+  Alcotest.(check string) "derived name" "opteron48/1s" one.Topology.name;
+  Alcotest.check_raises "too many" (Invalid_argument "Machines.restrict_sockets: bad socket count")
+    (fun () -> ignore (Machines.restrict_sockets Machines.xeon20 ~sockets:3))
+
+let test_placement_socket_first () =
+  let p = Allocation.place Machines.opteron48 ~threads:12 in
+  Alcotest.(check int) "12 threads fill one socket" 1 (Allocation.sockets_used p);
+  Alcotest.(check int) "both chips of the MCM used" 2 (Allocation.chips_used p);
+  let p13 = Allocation.place Machines.opteron48 ~threads:13 in
+  Alcotest.(check int) "13th thread spills to socket 2" 2 (Allocation.sockets_used p13);
+  Alcotest.(check bool) "crosses socket" true (Allocation.crosses_socket p13)
+
+let test_placement_smt_last () =
+  (* On xeon20 (10 cores/socket, SMT2) the first 20 threads must use 20
+     distinct physical cores before any SMT sibling is used. *)
+  let p = Allocation.place Machines.xeon20 ~threads:20 in
+  Array.iter (fun l -> Alcotest.(check int) "smt slot 0 first" 0 l.Topology.thread) p;
+  let p21 = Allocation.place Machines.xeon20 ~threads:21 in
+  Alcotest.(check int) "21st thread is an SMT sibling" 1 p21.(20).Topology.thread;
+  Alcotest.(check int) "sibling shares socket 0" 0 p21.(20).Topology.socket
+
+let test_placement_bounds () =
+  Alcotest.check_raises "zero threads" (Invalid_argument "Allocation.place: non-positive thread count")
+    (fun () -> ignore (Allocation.place Machines.xeon20 ~threads:0));
+  (try
+     ignore (Allocation.place Machines.haswell_desktop ~threads:9);
+     Alcotest.fail "should reject 9 threads on an 8-thread machine"
+   with Invalid_argument _ -> ())
+
+let test_numa_hops () =
+  let a = { Topology.socket = 0; chip = 0; core = 0; thread = 0 } in
+  let same_chip = { a with Topology.core = 3 } in
+  let other_chip = { a with Topology.chip = 1 } in
+  let other_socket = { a with Topology.socket = 2 } in
+  Alcotest.(check int) "same chip" 0 (Topology.numa_hops a same_chip);
+  Alcotest.(check int) "other chip" 1 (Topology.numa_hops a other_chip);
+  Alcotest.(check int) "other socket" 2 (Topology.numa_hops a other_socket)
+
+let test_memory_latency_monotone () =
+  List.iter
+    (fun m ->
+      let l0 = Topology.memory_latency m ~hops:0 in
+      let l1 = Topology.memory_latency m ~hops:1 in
+      let l2 = Topology.memory_latency m ~hops:2 in
+      Alcotest.(check bool) (m.Topology.name ^ " monotone") true (l0 <= l1 && l1 <= l2))
+    Machines.all
+
+let test_opteron_intra_socket_numa () =
+  (* The Opteron MCM shows NUMA inside a socket; the Xeons do not. *)
+  let opt = Machines.opteron48 and xeon = Machines.xeon20 in
+  Alcotest.(check bool) "opteron hop1 costs more" true
+    (Topology.memory_latency opt ~hops:1 > Topology.memory_latency opt ~hops:0);
+  Alcotest.(check int) "xeon hop1 free" (Topology.memory_latency xeon ~hops:0)
+    (Topology.memory_latency xeon ~hops:1)
+
+let test_frequency_scaling () =
+  let s = Frequency.time_scale ~measured_on:Machines.haswell_desktop ~target:Machines.xeon20 in
+  Alcotest.(check (float 1e-9)) "3.4/2.8" (3.4 /. 2.8) s;
+  let scaled = Frequency.scale_times ~measured_on:Machines.haswell_desktop ~target:Machines.xeon20 [| 1.0; 2.0 |] in
+  Alcotest.(check (float 1e-9)) "scaled" (2.0 *. s) scaled.(1)
+
+let test_validate_catches_bad_machines () =
+  let bad = { Machines.xeon20 with Topology.frequency_ghz = 0.0 } in
+  (match Topology.validate bad with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "zero frequency accepted");
+  let bad2 =
+    { Machines.xeon20 with Topology.timing = { Machines.xeon20.Topology.timing with Topology.llc_hit_cycles = 1 } }
+  in
+  match Topology.validate bad2 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "inverted cache latencies accepted"
+
+let cpuinfo_fixture =
+  "processor\t: 0\n\
+   vendor_id\t: GenuineIntel\n\
+   model name\t: Intel(R) Xeon(R) CPU E5-2680 v2 @ 2.80GHz\n\
+   cpu MHz\t\t: 2800.000\n\
+   physical id\t: 0\n\
+   cpu cores\t: 10\n\
+   \n\
+   processor\t: 1\n\
+   vendor_id\t: GenuineIntel\n\
+   physical id\t: 1\n\
+   cpu cores\t: 10\n\
+   \n\
+   processor\t: 2\nphysical id\t: 0\ncpu cores\t: 10\n\
+   processor\t: 3\nphysical id\t: 1\ncpu cores\t: 10\n"
+
+let test_host_parse_cpuinfo () =
+  match Host.read_proc_cpuinfo cpuinfo_fixture with
+  | None -> Alcotest.fail "fixture unparsed"
+  | Some raw ->
+      Alcotest.(check int) "sockets" 2 raw.Host.sockets;
+      Alcotest.(check int) "cores per socket" 10 raw.Host.cores_per_socket;
+      Alcotest.(check bool) "intel" true (raw.Host.vendor = Topology.Intel);
+      let topo = Host.of_raw raw in
+      (match Topology.validate topo with Ok () -> () | Error e -> Alcotest.fail e);
+      Alcotest.(check int) "20 cores" 20 (Topology.cores topo);
+      Alcotest.(check (float 1e-9)) "2.8 GHz" 2.8 topo.Topology.frequency_ghz
+
+let test_host_rejects_garbage () =
+  Alcotest.(check bool) "empty" true (Host.read_proc_cpuinfo "" = None);
+  Alcotest.(check bool) "no cores field" true (Host.read_proc_cpuinfo "processor: 0\n" = None)
+
+let suite =
+  [
+    ("machine inventory", `Quick, test_machine_inventory);
+    ("host parse cpuinfo", `Quick, test_host_parse_cpuinfo);
+    ("host rejects garbage", `Quick, test_host_rejects_garbage);
+    ("core counts", `Quick, test_core_counts);
+    ("find", `Quick, test_find);
+    ("restrict sockets", `Quick, test_restrict_sockets);
+    ("placement socket first", `Quick, test_placement_socket_first);
+    ("placement smt last", `Quick, test_placement_smt_last);
+    ("placement bounds", `Quick, test_placement_bounds);
+    ("numa hops", `Quick, test_numa_hops);
+    ("memory latency monotone", `Quick, test_memory_latency_monotone);
+    ("opteron intra socket numa", `Quick, test_opteron_intra_socket_numa);
+    ("frequency scaling", `Quick, test_frequency_scaling);
+    ("validate catches bad machines", `Quick, test_validate_catches_bad_machines);
+  ]

@@ -1,0 +1,15 @@
+(* Entry point aggregating every library's test suite. *)
+
+let () =
+  Alcotest.run "estima"
+    [
+      ("numerics", Test_numerics.suite);
+      ("kernels", Test_kernels.suite);
+      ("machine", Test_machine.suite);
+      ("simulator", Test_simulator.suite);
+      ("counters", Test_counters.suite);
+      ("workloads", Test_workloads.suite);
+      ("estima", Test_estima.suite);
+      ("repro", Test_repro.suite);
+      ("properties", Test_properties.suite);
+    ]

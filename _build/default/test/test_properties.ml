@@ -1,0 +1,243 @@
+(* Property-based tests (qcheck) on the numerics, kernels, simulator and
+   pipeline invariants. *)
+
+open Estima_numerics
+open Estima_kernels
+open Estima_sim
+open Estima_machine
+
+let count = 100
+
+let to_alcotest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Numerics                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let finite_float = QCheck.float_range (-1e6) 1e6
+
+let nonempty_vec = QCheck.(list_of_size Gen.(int_range 1 20) finite_float)
+
+let prop_vec_add_commutes =
+  QCheck.Test.make ~count ~name:"vec add commutes"
+    QCheck.(pair nonempty_vec nonempty_vec)
+    (fun (a, b) ->
+      let n = min (List.length a) (List.length b) in
+      QCheck.assume (n > 0);
+      let a = Array.of_list (List.filteri (fun i _ -> i < n) a) in
+      let b = Array.of_list (List.filteri (fun i _ -> i < n) b) in
+      Vec.add a b = Vec.add b a)
+
+let prop_dot_linear =
+  QCheck.Test.make ~count ~name:"dot is linear in scaling"
+    QCheck.(pair (float_range (-100.0) 100.0) nonempty_vec)
+    (fun (s, xs) ->
+      let v = Array.of_list xs in
+      let lhs = Vec.dot (Vec.scale s v) v in
+      let rhs = s *. Vec.dot v v in
+      Float.abs (lhs -. rhs) <= 1e-6 *. Float.max 1.0 (Float.abs rhs))
+
+let prop_mean_bounds =
+  QCheck.Test.make ~count ~name:"mean within min..max" nonempty_vec (fun xs ->
+      let v = Array.of_list xs in
+      let m = Stats.mean v in
+      m >= Vec.min_elt v -. 1e-9 && m <= Vec.max_elt v +. 1e-9)
+
+let prop_pearson_bounded =
+  QCheck.Test.make ~count ~name:"pearson in [-1,1]"
+    QCheck.(pair (list_of_size Gen.(int_range 2 20) finite_float) (list_of_size Gen.(int_range 2 20) finite_float))
+    (fun (a, b) ->
+      let n = min (List.length a) (List.length b) in
+      QCheck.assume (n >= 2);
+      let a = Array.of_list (List.filteri (fun i _ -> i < n) a) in
+      let b = Array.of_list (List.filteri (fun i _ -> i < n) b) in
+      let r = Stats.pearson a b in
+      Float.is_nan r || (r >= -1.0 -. 1e-9 && r <= 1.0 +. 1e-9))
+
+let prop_quantile_monotone =
+  QCheck.Test.make ~count ~name:"quantile monotone in q" nonempty_vec (fun xs ->
+      let v = Array.of_list xs in
+      Stats.quantile 0.25 v <= Stats.quantile 0.75 v +. 1e-9)
+
+let prop_rng_int_range =
+  QCheck.Test.make ~count ~name:"rng int stays in range"
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let v = Rng.int rng bound in
+        if v < 0 || v >= bound then ok := false
+      done;
+      !ok)
+
+let prop_qr_solves_spd_systems =
+  (* Random well-conditioned systems: QR must invert them. *)
+  QCheck.Test.make ~count:50 ~name:"qr solves diagonally dominant systems"
+    QCheck.(list_of_size (Gen.return 9) (float_range (-1.0) 1.0))
+    (fun cells ->
+      let a = Mat.init 3 3 (fun i j -> List.nth cells ((3 * i) + j) +. if i = j then 5.0 else 0.0) in
+      let x = [| 1.0; -2.0; 3.0 |] in
+      let b = Mat.mul_vec a x in
+      let solved = Qr.solve_square a b in
+      Vec.norm_inf (Vec.sub solved x) < 1e-8)
+
+(* ------------------------------------------------------------------ *)
+(* Kernels                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let kernel_gen = QCheck.oneofl Catalogue.all
+
+let prop_kernel_gradient_matches_fd =
+  QCheck.Test.make ~count:50 ~name:"kernel gradients match finite differences"
+    QCheck.(pair kernel_gen (float_range 1.0 40.0))
+    (fun (kernel, x) ->
+      (* Mild parameters keep every kernel finite at x. *)
+      let params = Array.init kernel.Kernel.arity (fun i -> 0.5 /. float_of_int (i + 1)) in
+      let v = kernel.Kernel.eval params x in
+      QCheck.assume (Float.is_finite v);
+      let g = kernel.Kernel.gradient params x in
+      let residual p = [| kernel.Kernel.eval p x |] in
+      let fd = Estima_numerics.Lm.finite_difference_jacobian residual params in
+      Array.for_all Fun.id
+        (Array.init kernel.Kernel.arity (fun j ->
+             let a = g.(j) and b = Mat.get fd 0 j in
+             Float.abs (a -. b) <= 1e-4 *. Float.max 1.0 (Float.abs b))))
+
+let prop_fit_never_worsens_rmse_vs_constant =
+  (* Whatever the data, a kernel fit must not lose to the trivial constant
+     predictor by a large factor on its own training points. *)
+  QCheck.Test.make ~count:30 ~name:"fits beat or match the constant baseline"
+    QCheck.(list_of_size (Gen.return 8) (float_range 1.0 1000.0))
+    (fun ys ->
+      let xs = Array.init 8 (fun i -> float_of_int (i + 1)) in
+      let ys = Array.of_list ys in
+      let mean = Stats.mean ys in
+      let constant_rmse = Stats.rmse (Array.make 8 mean) ys in
+      match Fit.fit Poly25.kernel ~xs ~ys with
+      | None -> true
+      | Some fitted -> fitted.Fit.fit_rmse <= constant_rmse +. 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Simulator invariants                                                *)
+(* ------------------------------------------------------------------ *)
+
+let small_spec_gen =
+  QCheck.make
+    ~print:(fun (u, r, s, seed) -> Printf.sprintf "useful=%g reads=%d shared=%g seed=%d" u r s seed)
+    QCheck.Gen.(
+      let* u = float_range 50.0 2000.0 in
+      let* r = int_range 0 16 in
+      let* s = float_range 0.0 1.0 in
+      let* seed = int_range 1 10_000 in
+      return (u, r, s, seed))
+
+let spec_of (u, r, s, _) =
+  {
+    Spec.name = "prop";
+    scaling = Spec.Strong 2_000;
+    private_footprint_lines = 1_000;
+    shared_footprint_lines = 10_000;
+    footprint_scales_with_threads = false;
+    op =
+      {
+        Spec.useful_cycles = u;
+        useful_cv = 0.1;
+        mem_reads = r;
+        mem_writes = 1;
+        shared_fraction = s;
+        write_shared_fraction = 0.2;
+        fp_fraction = 0.1;
+        dependency_factor = 0.1;
+        branch_mpki = 1.0;
+        frontend_cycles = 2.0;
+        sync = Spec.No_sync;
+        barrier_every = None;
+        barrier_kind = Spec.Spinlock;
+      };
+  }
+
+let prop_engine_time_positive_and_finite =
+  QCheck.Test.make ~count:30 ~name:"engine produces positive finite makespans" small_spec_gen
+    (fun ((_, _, _, seed) as g) ->
+      let r = Engine.run ~seed ~machine:Machines.xeon20 ~spec:(spec_of g) ~threads:4 () in
+      Float.is_finite r.Engine.cycles && r.Engine.cycles > 0.0)
+
+let prop_engine_deterministic =
+  QCheck.Test.make ~count:20 ~name:"engine is deterministic per seed" small_spec_gen
+    (fun ((_, _, _, seed) as g) ->
+      let spec = spec_of g in
+      let a = Engine.run ~seed ~machine:Machines.xeon20 ~spec ~threads:3 () in
+      let b = Engine.run ~seed ~machine:Machines.xeon20 ~spec ~threads:3 () in
+      a.Engine.cycles = b.Engine.cycles)
+
+let prop_engine_accounting =
+  QCheck.Test.make ~count:20 ~name:"per-thread cycles fully attributed (No_sync)" small_spec_gen
+    (fun ((_, _, _, seed) as g) ->
+      let r = Engine.run ~seed ~machine:Machines.xeon20 ~spec:(spec_of g) ~threads:4 () in
+      Array.for_all
+        (fun (ts : Engine.thread_stats) ->
+          let charged = Ledger.useful ts.Engine.ledger +. Ledger.total_stalls ts.Engine.ledger in
+          Float.abs (ts.Engine.finish_cycles -. charged) <= 1e-6 *. Float.max 1.0 charged)
+        r.Engine.per_thread)
+
+let prop_engine_stalls_nonnegative =
+  QCheck.Test.make ~count:20 ~name:"all stall categories non-negative" small_spec_gen
+    (fun ((_, _, _, seed) as g) ->
+      let r = Engine.run ~seed ~machine:Machines.opteron48 ~spec:(spec_of g) ~threads:6 () in
+      List.for_all (fun (_, v) -> v >= 0.0) (Ledger.to_assoc r.Engine.ledger))
+
+let prop_single_thread_no_contention_stalls =
+  QCheck.Test.make ~count:20 ~name:"one thread never spins or aborts" small_spec_gen
+    (fun ((_, _, _, seed) as g) ->
+      let r = Engine.run ~seed ~machine:Machines.xeon20 ~spec:(spec_of g) ~threads:1 () in
+      Ledger.get r.Engine.ledger Stall.Lock_spin = 0.0
+      && Ledger.get r.Engine.ledger Stall.Stm_abort = 0.0
+      && Ledger.get r.Engine.ledger Stall.Coherence = 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline invariants                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let prop_approximation_interpolates_linear_data =
+  QCheck.Test.make ~count:30 ~name:"approximation reproduces affine series"
+    QCheck.(pair (float_range 1.0 100.0) (float_range 0.0 50.0))
+    (fun (a, b) ->
+      let xs = Array.init 12 (fun i -> float_of_int (i + 1)) in
+      let ys = Array.map (fun x -> a +. (b *. x)) xs in
+      match Estima.Approximation.approximate ~xs ~ys ~target_max:48.0 ~require_nonnegative:true () with
+      | None -> false
+      | Some choice ->
+          let p = choice.Estima.Approximation.fitted.Fit.eval 24.0 in
+          let want = a +. (b *. 24.0) in
+          Float.abs (p -. want) <= 0.15 *. Float.max 1.0 want)
+
+let prop_error_metric_zero_for_perfect_prediction =
+  QCheck.Test.make ~count:30 ~name:"error is zero for perfect predictions"
+    QCheck.(list_of_size (Gen.return 6) (float_range 0.1 100.0))
+    (fun ts ->
+      let times = Array.of_list ts in
+      let grid = Array.init 6 (fun i -> float_of_int (i + 1)) in
+      let e = Estima.Error.evaluate ~predicted:times ~measured:times ~target_grid:grid () in
+      e.Estima.Error.max_error = 0.0 && e.Estima.Error.verdict_agrees)
+
+let suite =
+  List.map to_alcotest
+    [
+      prop_vec_add_commutes;
+      prop_dot_linear;
+      prop_mean_bounds;
+      prop_pearson_bounded;
+      prop_quantile_monotone;
+      prop_rng_int_range;
+      prop_qr_solves_spd_systems;
+      prop_kernel_gradient_matches_fd;
+      prop_fit_never_worsens_rmse_vs_constant;
+      prop_engine_time_positive_and_finite;
+      prop_engine_deterministic;
+      prop_engine_accounting;
+      prop_engine_stalls_nonnegative;
+      prop_single_thread_no_contention_stalls;
+      prop_approximation_interpolates_linear_data;
+      prop_error_metric_zero_for_perfect_prediction;
+    ]
