@@ -5,7 +5,9 @@
    Usage:
      bench/main.exe                 run everything
      bench/main.exe T4 F8 ...       run selected experiments
-     bench/main.exe --no-micro      skip the Bechamel microbenchmarks *)
+     bench/main.exe --no-micro      skip the Bechamel microbenchmarks
+     bench/main.exe --fit-timing    only report fit-search timing per
+                                    pipeline stage (trace spans+counters) *)
 
 open Estima_machine
 open Estima_sim
@@ -75,8 +77,41 @@ let microbenchmarks () =
     results;
   flush stdout
 
+(* Fit-search timing: run one representative prediction under a trace
+   recorder and print where the selection time goes — per-category spans,
+   the factor fit, and the kernel-fit counters.  The instrumentation is
+   enabled only here (a sink is installed), so the regular benchmark
+   numbers are collected with tracing off. *)
+let fit_timing () =
+  let entry = Option.get (Suite.find "intruder") in
+  let series =
+    Collector.collect
+      ~options:
+        { Collector.default_options with Collector.seed = 9; plugins = entry.Suite.plugins; repetitions = 1 }
+      ~machine:(Machines.restrict_sockets Machines.opteron48 ~sockets:1)
+      ~spec:entry.Suite.spec
+      ~thread_counts:(Collector.default_thread_counts ~max:12)
+      ()
+  in
+  let recorder = Estima_obs.Recorder.create () in
+  let t0 = Sys.time () in
+  let _prediction =
+    Estima_obs.Recorder.record recorder (fun () ->
+        Predictor.predict
+          ~config:{ Predictor.default_config with Predictor.include_software = true }
+          ~series ~target_max:48 ())
+  in
+  let elapsed = Sys.time () -. t0 in
+  Estima_repro.Render.heading "[BENCH] fit-search timing per stage (intruder, 12 -> 48 cores)";
+  Format.printf "%a@." Estima_obs.Trace_render.pp_span_stats (Estima_obs.Recorder.span_stats recorder);
+  Format.printf "@.counters:@.%a@." Estima_obs.Trace_render.pp_counters
+    (Estima_obs.Recorder.counters recorder);
+  Printf.printf "total predict time: %.3f ms (cpu)\n%!" (1e3 *. elapsed)
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  if List.mem "--fit-timing" args then fit_timing ()
+  else begin
   let micro = not (List.mem "--no-micro" args) in
   let ids = List.filter (fun a -> a <> "--no-micro") args in
   let t0 = Unix.gettimeofday () in
@@ -95,3 +130,4 @@ let () =
   Printf.printf "\n[reproduction complete in %.0f s; measurement cache: %d hits, %d sweeps]\n%!"
     (Unix.gettimeofday () -. t0) hits misses;
   if micro then microbenchmarks ()
+  end

@@ -65,6 +65,32 @@ let software_arg =
 
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Simulation seed.")
 
+let trace_arg =
+  let fmt = Arg.enum [ ("text", `Text); ("json", `Json) ] in
+  Arg.(
+    value
+    & opt ~vopt:(Some `Text) (some fmt) None
+    & info [ "trace" ] ~docv:"FORMAT"
+        ~doc:
+          "Record a fit-selection audit trace and print it after the prediction: every (kernel,            prefix) candidate with the gate that rejected it (realism, growth cap, slope,            tie-break), the tie-break decisions, per-stage timings and counters.  $(docv) is            $(b,text) (default) or $(b,json).  Tracing never changes the predictions.")
+
+(* Runs [f] with a recorder installed when [trace] asks for one; the
+   returned recorder is rendered (after the normal output) by
+   [print_trace]. *)
+let record_trace trace f =
+  match trace with
+  | None -> (None, f ())
+  | Some _ ->
+      let recorder = Estima_obs.Recorder.create () in
+      let result = Estima_obs.Recorder.record recorder f in
+      (Some recorder, result)
+
+let print_trace trace recorder =
+  match (trace, recorder) with
+  | Some `Text, Some r -> Format.printf "@.%a@." Estima_obs.Trace_render.pp_recorder r
+  | Some `Json, Some r -> print_string (Estima_obs.Trace_render.json_of_recorder r)
+  | _ -> ()
+
 let reps_arg =
   Arg.(value & opt int 5 & info [ "repetitions" ] ~docv:"N" ~doc:"Averaged runs per measured point.")
 
@@ -159,7 +185,7 @@ let collect_cmd =
 (* --------------------------- predict ------------------------------ *)
 
 let predict_cmd =
-  let run entry measure_machine sockets window target software seed reps =
+  let run entry measure_machine sockets window target software seed reps trace =
     let measure_machine = restrict measure_machine sockets in
     let max_threads = Option.value ~default:(Topology.cores measure_machine) window in
     let series = collect_series ~entry ~machine:measure_machine ~max_threads ~seed ~repetitions:reps in
@@ -170,7 +196,9 @@ let predict_cmd =
         frequency_scale = Frequency.time_scale ~measured_on:measure_machine ~target;
       }
     in
-    let prediction = Predictor.predict ~config ~series ~target_max:(Topology.cores target) () in
+    let recorder, prediction =
+      record_trace trace (fun () -> Predictor.predict ~config ~series ~target_max:(Topology.cores target) ())
+    in
     Format.printf "%a@.@." Predictor.pp_summary prediction;
     Printf.printf "cores  predicted-time(s)  stalls/core\n";
     Array.iteri
@@ -182,7 +210,8 @@ let predict_cmd =
       Error.scaling_verdict ~times:prediction.Predictor.predicted_times
         ~grid:prediction.Predictor.target_grid ()
     in
-    Printf.printf "\nprediction: the application %s\n" (Error.verdict_to_string verdict)
+    Printf.printf "\nprediction: the application %s\n" (Error.verdict_to_string verdict);
+    print_trace trace recorder
   in
   Cmd.v
     (Cmd.info "predict" ~doc:"Measure on a small machine and predict a larger one.")
@@ -192,7 +221,7 @@ let predict_cmd =
           [ "machine"; "m" ] "Measurements machine."
       $ sockets_arg $ window_arg
       $ machine_arg ~default:Machines.opteron48 [ "target"; "t" ] "Target machine."
-      $ software_arg $ seed_arg $ reps_arg)
+      $ software_arg $ seed_arg $ reps_arg $ trace_arg)
 
 (* --------------------------- compare ------------------------------ *)
 
@@ -240,23 +269,25 @@ let compare_cmd =
 (* -------------------------- bottleneck ---------------------------- *)
 
 let bottleneck_cmd =
-  let run entry target sockets window seed reps =
+  let run entry target sockets window seed reps trace =
     let measure_machine = restrict target (Some (Option.value ~default:1 sockets)) in
     let max_threads = Option.value ~default:(Topology.cores measure_machine) window in
     let series = collect_series ~entry ~machine:measure_machine ~max_threads ~seed ~repetitions:reps in
-    let prediction =
-      Predictor.predict
-        ~config:{ Predictor.default_config with Predictor.include_software = true }
-        ~series ~target_max:(Topology.cores target) ()
+    let recorder, prediction =
+      record_trace trace (fun () ->
+          Predictor.predict
+            ~config:{ Predictor.default_config with Predictor.include_software = true }
+            ~series ~target_max:(Topology.cores target) ())
     in
-    Format.printf "%a@." Bottleneck.pp (Bottleneck.analyze prediction)
+    Format.printf "%a@." Bottleneck.pp (Bottleneck.analyze prediction);
+    print_trace trace recorder
   in
   Cmd.v
     (Cmd.info "bottleneck" ~doc:"Rank the stall categories that will dominate at scale.")
     Term.(
       const run $ workload_arg
       $ machine_arg ~default:Machines.opteron48 [ "target"; "t" ] "Target machine."
-      $ sockets_arg $ window_arg $ seed_arg $ reps_arg)
+      $ sockets_arg $ window_arg $ seed_arg $ reps_arg $ trace_arg)
 
 (* ---------------------------- repro ------------------------------- *)
 

@@ -1,5 +1,6 @@
 open Estima_numerics
 open Estima_kernels
+module Trace = Estima_obs.Trace
 
 type config = { checkpoints : int; min_prefix : int }
 
@@ -22,15 +23,44 @@ let fit_prefix kernel ~xs ~ys ~prefix =
   if prefix > Array.length xs then invalid_arg "Approximation.fit_prefix: prefix too long";
   Fit.fit kernel ~xs:(sub_prefix xs prefix) ~ys:(sub_prefix ys prefix)
 
+(* Trace helpers, all guarded on [Trace.enabled]: with no sink installed
+   the selection loop below runs exactly as before. *)
+let trace_candidate ~subject ~kernel ~prefix ~verdict ~score detail =
+  if Trace.enabled () then
+    Trace.emit
+      (Trace.Candidate
+         { stage = Trace.stall_stage; subject; kernel; prefix; verdict; score; detail })
+
+let trace_winner ~subject (choice : choice) =
+  if Trace.enabled () then
+    Trace.emit
+      (Trace.Winner
+         {
+           stage = Trace.stall_stage;
+           subject;
+           kernel = choice.fitted.Fit.kernel_name;
+           prefix = choice.prefix;
+           score = choice.checkpoint_rmse;
+           correlation = Float.nan;
+         })
+
+let choice_label (c : choice) = Printf.sprintf "%s@%d" c.fitted.Fit.kernel_name c.prefix
+
 (* Short-series / last-resort fallback: least-squares polynomials of
    decreasing degree on all points; the degree-0 fit (the mean of
    non-negative data) is always realistic, so the chain cannot fail on
    stall measurements. *)
-let fallback ?(extra_ok = fun (_ : Fit.fitted) -> true) ~xs ~ys ~target_max ~require_nonnegative () =
+let fallback ?(subject = "series") ?(extra_ok = fun (_ : Fit.fitted) -> true) ~xs ~ys ~target_max
+    ~require_nonnegative () =
   let m = Array.length xs in
   let try_degree ~gated degree =
+    let degree_detail = Printf.sprintf "fallback polynomial, degree %d" degree in
     match Linear_fit.polynomial ~degree ~xs ~ys with
-    | exception Qr.Singular -> None
+    | exception Qr.Singular ->
+        trace_candidate ~subject ~kernel:fallback_kernel_name ~prefix:m
+          ~verdict:(Trace.Rejected Trace.Fit_failed) ~score:Float.nan
+          (degree_detail ^ ": singular system");
+        None
     | coeffs ->
         let eval x = Linear_fit.eval_polynomial coeffs x in
         (* y_scale records the data magnitude so the realism explosion
@@ -44,11 +74,20 @@ let fallback ?(extra_ok = fun (_ : Fit.fitted) -> true) ~xs ~ys ~target_max ~req
             eval;
           }
         in
-        if
-          Fit.realistic fitted ~x_min:1.0 ~x_max:target_max ~require_nonnegative
-          && ((not gated) || extra_ok fitted)
-        then Some { fitted; prefix = m; checkpoint_rmse = fitted.Fit.fit_rmse }
-        else None
+        if not (Fit.realistic fitted ~x_min:1.0 ~x_max:target_max ~require_nonnegative) then begin
+          trace_candidate ~subject ~kernel:fallback_kernel_name ~prefix:m
+            ~verdict:(Trace.Rejected Trace.Realism) ~score:Float.nan degree_detail;
+          None
+        end
+        else if gated && not (extra_ok fitted) then
+          (* [extra_ok] reports its own rejection gate (growth / slope). *)
+          None
+        else begin
+          trace_candidate ~subject ~kernel:fallback_kernel_name ~prefix:m ~verdict:Trace.Accepted
+            ~score:fitted.Fit.fit_rmse
+            (if gated then degree_detail else degree_detail ^ " (last resort, ungated)");
+          Some { fitted; prefix = m; checkpoint_rmse = fitted.Fit.fit_rmse }
+        end
   in
   let rec chain ~gated = function
     | [] -> None
@@ -68,13 +107,15 @@ let fallback ?(extra_ok = fun (_ : Fit.fitted) -> true) ~xs ~ys ~target_max ~req
          category must contribute something to the stall total. *)
       chain ~gated:false [ 0 ]
 
-let approximate ?(config = default_config) ~xs ~ys ~target_max ~require_nonnegative () =
+let approximate ?(config = default_config) ?(subject = "series") ~xs ~ys ~target_max
+    ~require_nonnegative () =
   let m = Array.length xs in
   if m = 0 || m <> Array.length ys then invalid_arg "Approximation.approximate: bad input";
   if config.checkpoints <= 0 || config.min_prefix < 2 then
     invalid_arg "Approximation.approximate: bad config";
   let n = m - config.checkpoints in
-  if n < config.min_prefix then fallback ~xs ~ys ~target_max ~require_nonnegative ()
+  let result =
+  if n < config.min_prefix then fallback ~subject ~xs ~ys ~target_max ~require_nonnegative ()
   else begin
     let checkpoint_xs = Array.sub xs n config.checkpoints in
     let checkpoint_ys = Array.sub ys n config.checkpoints in
@@ -83,18 +124,43 @@ let approximate ?(config = default_config) ~xs ~ys ~target_max ~require_nonnegat
     let full_rmse choice = Stats.rmse (Array.map choice.fitted.Fit.eval xs) ys in
     let consider choice =
       match !best with
-      | None -> best := Some (choice, full_rmse choice)
+      | None ->
+          trace_candidate ~subject ~kernel:choice.fitted.Fit.kernel_name ~prefix:choice.prefix
+            ~verdict:Trace.Accepted ~score:choice.checkpoint_rmse "first surviving candidate";
+          best := Some (choice, full_rmse choice)
       | Some (b, b_full) ->
+          let kernel = choice.fitted.Fit.kernel_name and prefix = choice.prefix in
           let near_tie =
             Float.abs (choice.checkpoint_rmse -. b.checkpoint_rmse)
             <= tie_margin *. Float.max b.checkpoint_rmse 1e-300
           in
           if near_tie then begin
             let full = full_rmse choice in
-            if full < b_full then best := Some (choice, full)
+            if full < b_full then begin
+              trace_candidate ~subject ~kernel ~prefix ~verdict:Trace.Accepted
+                ~score:choice.checkpoint_rmse
+                (Printf.sprintf "checkpoint tie with %s; full-series RMSE %.4g < %.4g"
+                   (choice_label b) full b_full);
+              best := Some (choice, full)
+            end
+            else
+              trace_candidate ~subject ~kernel ~prefix ~verdict:(Trace.Rejected Trace.Tie_break)
+                ~score:choice.checkpoint_rmse
+                (Printf.sprintf "checkpoint tie with %s; full-series RMSE %.4g >= %.4g"
+                   (choice_label b) full b_full)
           end
-          else if choice.checkpoint_rmse < b.checkpoint_rmse then
+          else if choice.checkpoint_rmse < b.checkpoint_rmse then begin
+            trace_candidate ~subject ~kernel ~prefix ~verdict:Trace.Accepted
+              ~score:choice.checkpoint_rmse
+              (Printf.sprintf "checkpoint RMSE %.4g beats %s (%.4g)" choice.checkpoint_rmse
+                 (choice_label b) b.checkpoint_rmse);
             best := Some (choice, full_rmse choice)
+          end
+          else
+            trace_candidate ~subject ~kernel ~prefix ~verdict:(Trace.Rejected Trace.Tie_break)
+              ~score:choice.checkpoint_rmse
+              (Printf.sprintf "checkpoint RMSE %.4g loses to %s (%.4g)" choice.checkpoint_rmse
+                 (choice_label b) b.checkpoint_rmse)
     in
     (* Growth cap, anchored to the data: extrapolated growth from the
        window to the target may not exceed the growth rate observed over
@@ -152,20 +218,46 @@ let approximate ?(config = default_config) ~xs ~ys ~target_max ~require_nonnegat
       else if tail_slope > 0.0 then launch >= 0.3 *. tail_slope
       else launch <= 0.3 *. tail_slope
     in
+    (* Runs a gated candidate through realism, growth and slope, reporting
+       the first gate that rejects it; [None] means it survived. *)
+    let first_failed_gate fitted =
+      if not (Fit.realistic fitted ~x_min:1.0 ~x_max:target_max ~require_nonnegative) then
+        Some (Trace.Realism, "pole, explosion or deep negativity inside [1, target]")
+      else if not (plausible_growth fitted) then
+        Some
+          ( Trace.Growth_cap,
+            Printf.sprintf "eval(%.0f)=%.4g vs window %.4g exceeds cap %.3gx" target_max
+              (fitted.Fit.eval target_max) ys.(m - 1) growth_cap )
+      else if not (slope_ok fitted) then
+        Some (Trace.Slope, "launch slope at the window contradicts the measured tail trend")
+      else None
+    in
+    let gate_and_consider ~prefix ~checkpoint_rmse fitted =
+      match first_failed_gate fitted with
+      | Some (gate, detail) ->
+          trace_candidate ~subject ~kernel:fitted.Fit.kernel_name ~prefix
+            ~verdict:(Trace.Rejected gate) ~score:Float.nan detail
+      | None -> (
+          match checkpoint_rmse fitted with
+          | Some rmse -> consider { fitted; prefix; checkpoint_rmse = rmse }
+          | None ->
+              trace_candidate ~subject ~kernel:fitted.Fit.kernel_name ~prefix
+                ~verdict:(Trace.Rejected Trace.Non_finite) ~score:Float.nan
+                "non-finite checkpoint predictions")
+    in
     for prefix = config.min_prefix to n do
       List.iter
         (fun kernel ->
           match fit_prefix kernel ~xs ~ys ~prefix with
-          | None -> ()
+          | None ->
+              trace_candidate ~subject ~kernel:kernel.Kernel.name ~prefix
+                ~verdict:(Trace.Rejected Trace.Fit_failed) ~score:Float.nan
+                "kernel could not be fitted on this prefix"
           | Some fitted ->
-              if
-                Fit.realistic fitted ~x_min:1.0 ~x_max:target_max ~require_nonnegative
-                && plausible_growth fitted && slope_ok fitted
-              then begin
-                let predicted = Array.map fitted.Fit.eval checkpoint_xs in
-                if Vec.all_finite predicted then
-                  consider { fitted; prefix; checkpoint_rmse = Stats.rmse predicted checkpoint_ys }
-              end)
+              gate_and_consider ~prefix fitted ~checkpoint_rmse:(fun fitted ->
+                  let predicted = Array.map fitted.Fit.eval checkpoint_xs in
+                  if Vec.all_finite predicted then Some (Stats.rmse predicted checkpoint_ys)
+                  else None))
         Catalogue.all
     done;
     (match !best with
@@ -179,17 +271,28 @@ let approximate ?(config = default_config) ~xs ~ys ~target_max ~require_nonnegat
         List.iter
           (fun kernel ->
             match Fit.fit kernel ~xs ~ys with
-            | None -> ()
+            | None ->
+                trace_candidate ~subject ~kernel:kernel.Kernel.name ~prefix:m
+                  ~verdict:(Trace.Rejected Trace.Fit_failed) ~score:Float.nan
+                  "kernel could not be refitted on the full series"
             | Some fitted ->
-                if
-                  Fit.realistic fitted ~x_min:1.0 ~x_max:target_max ~require_nonnegative
-                  && plausible_growth fitted && slope_ok fitted
-                then consider { fitted; prefix = m; checkpoint_rmse = fitted.Fit.fit_rmse })
+                gate_and_consider ~prefix:m fitted ~checkpoint_rmse:(fun fitted ->
+                    Some fitted.Fit.fit_rmse))
           Catalogue.all);
     match !best with
     | Some (choice, _) -> Some choice
     | None ->
         (* Still nothing: fall back, subject to the same gates. *)
-        fallback ~extra_ok:(fun f -> plausible_growth f && slope_ok f) ~xs ~ys ~target_max
-          ~require_nonnegative ()
+        fallback ~subject
+          ~extra_ok:(fun f ->
+            match first_failed_gate f with
+            | None -> true
+            | Some (gate, detail) ->
+                trace_candidate ~subject ~kernel:fallback_kernel_name ~prefix:m
+                  ~verdict:(Trace.Rejected gate) ~score:Float.nan detail;
+                false)
+          ~xs ~ys ~target_max ~require_nonnegative ()
   end
+  in
+  (match result with Some choice -> trace_winner ~subject choice | None -> ());
+  result

@@ -27,6 +27,7 @@ type choice = {
 
 val approximate :
   ?config:config ->
+  ?subject:string ->
   xs:float array ->
   ys:float array ->
   target_max:float ->
@@ -35,6 +36,13 @@ val approximate :
   choice option
 (** Runs the Figure 4 procedure.  [target_max] bounds the realism check:
     a fit with a pole or blow-up inside [1, target_max] is discarded.
+
+    [subject] names the series in trace events (the stall category name;
+    defaults to ["series"]).  When a trace sink is installed
+    ({!Estima_obs.Trace}), every (kernel, prefix) candidate is reported
+    with the gate that rejected it — realism, growth cap, slope or
+    tie-break — and the eventual winner with its checkpoint RMSE; with no
+    sink the procedure is unchanged and pays only a flag check.
 
     With very short series (fewer than [min_prefix + checkpoints] points —
     e.g. the paper's memcached experiment measures only three thread

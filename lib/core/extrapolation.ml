@@ -1,5 +1,6 @@
 open Estima_kernels
 open Estima_counters
+module Trace = Estima_obs.Trace
 
 type category_fit = {
   category : string;
@@ -28,8 +29,16 @@ let zero_fit category measured =
     measured;
   }
 
+(* Stall predictions are clamped at zero everywhere they are consumed:
+   kernels are allowed small negative excursions at low core counts (see
+   [Fit.realistic]), but a stall count below zero is not physical, and the
+   per-category curves must sum to exactly the reported total. *)
+let clamped_eval fit n = Float.max 0.0 (fit.choice.Approximation.fitted.Fit.eval n)
+
 let extrapolate ?(config = Approximation.default_config) ~series ~target_max ~include_software
     ~include_frontend () =
+  if Array.length series.Series.samples = 0 then
+    invalid_arg "Extrapolation.extrapolate: series has no samples";
   if target_max < Series.max_threads series then
     invalid_arg "Extrapolation.extrapolate: target below measurement window";
   let xs = Series.threads series in
@@ -37,21 +46,47 @@ let extrapolate ?(config = Approximation.default_config) ~series ~target_max ~in
   let categories =
     if include_software then categories
     else
-      let software = List.map fst series.Series.samples.(0).Sample.software in
+      (* The software category set is the union across samples, not the
+         first sample's list: a plugin that only reports at some thread
+         counts must still be excluded everywhere. *)
+      let software =
+        Array.fold_left
+          (fun acc s ->
+            List.fold_left
+              (fun acc (c, _) -> if List.mem c acc then acc else c :: acc)
+              acc s.Sample.software)
+          [] series.Series.samples
+      in
       List.filter (fun c -> not (List.mem c software)) categories
   in
   let fits =
     List.map
       (fun category ->
-        let ys = Series.category_values series category in
-        if Array.for_all (fun v -> v = 0.0) ys then zero_fit category ys
-        else
-          match
-            Approximation.approximate ~config ~xs ~ys ~target_max:(float_of_int target_max)
-              ~require_nonnegative:true ()
-          with
-          | Some choice -> { category; choice; measured = ys }
-          | None -> Stdlib.failwith (Printf.sprintf "no realistic fit for stall category %s" category))
+        Trace.with_span ("category:" ^ category) (fun () ->
+            let ys = Series.category_values series category in
+            if Array.for_all (fun v -> v = 0.0) ys then begin
+              if Trace.enabled () then
+                Trace.emit
+                  (Trace.Winner
+                     {
+                       stage = Trace.stall_stage;
+                       subject = category;
+                       kernel = "Zero";
+                       prefix = Array.length ys;
+                       score = 0.0;
+                       correlation = Float.nan;
+                     });
+              zero_fit category ys
+            end
+            else
+              match
+                Approximation.approximate ~config ~subject:category ~xs ~ys
+                  ~target_max:(float_of_int target_max) ~require_nonnegative:true ()
+              with
+              | Some choice -> { category; choice; measured = ys }
+              | None ->
+                  Stdlib.failwith
+                    (Printf.sprintf "no realistic fit for stall category %s" category)))
       categories
   in
   let target_grid = Array.init target_max (fun i -> float_of_int (i + 1)) in
@@ -60,17 +95,14 @@ let extrapolate ?(config = Approximation.default_config) ~series ~target_max ~in
 let category_values t name =
   match List.find_opt (fun f -> String.equal f.category name) t.fits with
   | None -> raise Not_found
-  | Some f -> Array.map f.choice.Approximation.fitted.Fit.eval t.target_grid
+  | Some f -> Array.map (clamped_eval f) t.target_grid
 
-let total_stalls t n =
-  List.fold_left (fun acc f -> acc +. Float.max 0.0 (f.choice.Approximation.fitted.Fit.eval n)) 0.0 t.fits
+let total_stalls t n = List.fold_left (fun acc f -> acc +. clamped_eval f n) 0.0 t.fits
 
 let stalls_per_core t = Array.map (fun n -> total_stalls t n /. n) t.target_grid
 
 let dominant_categories t ~at =
-  let contributions =
-    List.map (fun f -> (f.category, Float.max 0.0 (f.choice.Approximation.fitted.Fit.eval at))) t.fits
-  in
+  let contributions = List.map (fun f -> (f.category, clamped_eval f at)) t.fits in
   let total = List.fold_left (fun acc (_, v) -> acc +. v) 0.0 contributions in
   if total <= 0.0 then List.map (fun (c, _) -> (c, 0.0)) contributions
   else

@@ -28,17 +28,26 @@ val extrapolate :
   unit ->
   t
 (** Fits every stall category of [series].  Categories whose measurements
-    are identically zero are carried as exact zero fits.  Raises [Failure]
-    naming the category when no realistic fit exists for a non-zero
-    category (callers treat this as "ESTIMA cannot extrapolate this
-    series"). *)
+    are identically zero are carried as exact zero fits.  The software
+    categories excluded by [include_software:false] are the union across
+    all samples, so a plugin that reports at only some thread counts is
+    still excluded everywhere.  Raises [Failure] naming the category when
+    no realistic fit exists for a non-zero category (callers treat this as
+    "ESTIMA cannot extrapolate this series"), and [Invalid_argument] on a
+    series with no samples.
+
+    When a trace sink is installed ({!Estima_obs.Trace}), each category is
+    fitted inside a [category:<name>] span and its candidate gate
+    decisions are reported with the category as subject. *)
 
 val category_values : t -> string -> float array
-(** Extrapolated values of one category on the target grid.  Raises
-    [Not_found] for an unknown category. *)
+(** Extrapolated values of one category on the target grid, clamped at
+    zero — consistently with {!total_stalls}, so the per-category curves
+    sum exactly to the reported total.  Raises [Not_found] for an unknown
+    category. *)
 
 val total_stalls : t -> float -> float
-(** Sum of all fitted categories at a core count. *)
+(** Sum of all fitted categories at a core count, each clamped at zero. *)
 
 val stalls_per_core : t -> float array
 (** [total_stalls / n] over the target grid — the quantity Figure 5(g)

@@ -1,5 +1,6 @@
 open Estima_counters
 open Estima_kernels
+module Trace = Estima_obs.Trace
 
 type config = {
   approximation : Approximation.config;
@@ -26,14 +27,14 @@ type t = {
   stalls_per_core : float array;
   extrapolation : Extrapolation.t;
   factor : Scaling_factor.t;
+  audit : Estima_obs.Audit.t option;
 }
 
-let predict ?(config = default_config) ~series ~target_max () =
-  if config.frequency_scale <= 0.0 || config.dataset_factor <= 0.0 then
-    invalid_arg "Predictor.predict: non-positive scale";
+let predict_untraced ~config ~series ~target_max () =
   let extrapolation =
-    Extrapolation.extrapolate ~config:config.approximation ~series ~target_max
-      ~include_software:config.include_software ~include_frontend:config.include_frontend ()
+    Trace.with_span "extrapolate" (fun () ->
+        Extrapolation.extrapolate ~config:config.approximation ~series ~target_max
+          ~include_software:config.include_software ~include_frontend:config.include_frontend ())
   in
   let target_grid = extrapolation.Extrapolation.target_grid in
   (* Weak scaling: a k-times dataset produces (to first order) k times the
@@ -54,8 +55,9 @@ let predict ?(config = default_config) ~series ~target_max () =
          ~include_software:config.include_software)
   in
   let factor =
-    Scaling_factor.fit ~config:config.approximation ~threads ~times ~stalls_per_core_measured
-      ~stalls_per_core_grid:stalls_per_core ~target_grid ()
+    Trace.with_span "factor" (fun () ->
+        Scaling_factor.fit ~config:config.approximation ~threads ~times ~stalls_per_core_measured
+          ~stalls_per_core_grid:stalls_per_core ~target_grid ())
   in
   let predicted_times =
     Scaling_factor.predict_times factor ~stalls_per_core_grid:stalls_per_core ~target_grid
@@ -79,7 +81,23 @@ let predict ?(config = default_config) ~series ~target_max () =
     done;
     out
   in
-  { config; series; target_grid; predicted_times; stalls_per_core; extrapolation; factor }
+  { config; series; target_grid; predicted_times; stalls_per_core; extrapolation; factor; audit = None }
+
+let predict ?(config = default_config) ~series ~target_max () =
+  if config.frequency_scale <= 0.0 || config.dataset_factor <= 0.0 then
+    invalid_arg "Predictor.predict: non-positive scale";
+  if Trace.enabled () then begin
+    (* Capture the pipeline's own trace (teed to the outer sink) so the
+       prediction carries its per-category audit record.  Without a sink
+       the pipeline runs untouched and no audit is built. *)
+    let recorder = Estima_obs.Recorder.create () in
+    let prediction =
+      Estima_obs.Recorder.record recorder (fun () ->
+          Trace.with_span "predict" (fun () -> predict_untraced ~config ~series ~target_max ()))
+    in
+    { prediction with audit = Some (Estima_obs.Audit.of_events (Estima_obs.Recorder.events recorder)) }
+  end
+  else predict_untraced ~config ~series ~target_max ()
 
 let predicted_time_at t ~threads =
   if threads < 1 || threads > Array.length t.predicted_times then

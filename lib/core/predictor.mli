@@ -33,6 +33,12 @@ type t = {
   stalls_per_core : float array;
   extrapolation : Extrapolation.t;  (** Per-category fits (Fig 5a-f). *)
   factor : Scaling_factor.t;  (** The Fig 5(h) function. *)
+  audit : Estima_obs.Audit.t option;
+      (** Fit-selection audit: for every stall category and the scaling
+          factor, which candidates were tried, which gate rejected each,
+          and what the winner scored.  Populated only when a trace sink is
+          installed ({!Estima_obs.Trace.set_sink}); [None] otherwise, and
+          the numeric prediction is byte-identical either way. *)
 }
 
 val predict : ?config:config -> series:Series.t -> target_max:int -> unit -> t

@@ -1,7 +1,43 @@
 open Estima_numerics
 open Estima_kernels
+module Trace = Estima_obs.Trace
 
 type t = { fitted : Fit.fitted; correlation : float; measured_factors : float array }
+
+(* Trace helpers for the factor-selection stage; no-ops without a sink. *)
+let trace_candidate ~kernel ~prefix ~verdict ~score detail =
+  if Trace.enabled () then
+    Trace.emit
+      (Trace.Candidate
+         {
+           stage = Trace.factor_stage;
+           subject = Trace.factor_subject;
+           kernel;
+           prefix;
+           verdict;
+           score;
+           detail;
+         })
+
+let trace_decision ~incumbent ~challenger ~winner ~rule detail =
+  if Trace.enabled () then
+    Trace.emit
+      (Trace.Decision
+         {
+           stage = Trace.factor_stage;
+           subject = Trace.factor_subject;
+           incumbent;
+           challenger;
+           winner;
+           rule;
+           detail;
+         })
+
+let trace_winner ~kernel ~prefix ~score ~correlation =
+  if Trace.enabled () then
+    Trace.emit
+      (Trace.Winner
+         { stage = Trace.factor_stage; subject = Trace.factor_subject; kernel; prefix; score; correlation })
 
 let constant_fit value =
   {
@@ -52,19 +88,68 @@ let fit ?(config = Approximation.default_config) ~threads ~times ~stalls_per_cor
      Figure 5h) win over the degenerate constant. *)
   let correlation_band = 0.02 in
   let best = ref None in
-  let consider fitted =
-    let predicted = predict_with fitted ~stalls_per_core_grid ~target_grid in
-    if factor_in_range fitted && Vec.all_finite predicted && Array.for_all (fun t -> t >= 0.0) predicted
-    then begin
-      let corr = Stats.pearson predicted stalls_per_core_grid in
-      let rmse = Stats.rmse (Array.map fitted.Fit.eval threads) factors in
-      if Float.is_finite corr && Float.is_finite rmse then
-        match !best with
-        | Some (_, best_corr, best_rmse) ->
-            if corr > best_corr +. correlation_band
-               || (corr >= best_corr -. correlation_band && rmse < best_rmse)
-            then best := Some (fitted, Float.max corr best_corr, rmse)
-        | None -> best := Some (fitted, corr, rmse)
+  (* The correlation bar every challenger must clear (or reach the band
+     of) is the highest correlation any accepted candidate achieved; it
+     never drops when an RMSE tie-break crowns a winner with a slightly
+     lower correlation.  The bar is a selection device only — the
+     correlation *reported* for the final choice is always that
+     candidate's own (it used to be this bar, i.e. possibly the displaced
+     incumbent's). *)
+  let bar = ref Float.neg_infinity in
+  let label kernel prefix = Printf.sprintf "%s@%d" kernel prefix in
+  let consider ~prefix fitted =
+    let kernel = fitted.Fit.kernel_name in
+    if not (factor_in_range fitted) then
+      trace_candidate ~kernel ~prefix ~verdict:(Trace.Rejected Trace.Factor_range) ~score:Float.nan
+        (Printf.sprintf "factor leaves the measured range [%.4g, %.4g] (x0.25 / x4 slack)" f_min
+           f_max)
+    else begin
+      let predicted = predict_with fitted ~stalls_per_core_grid ~target_grid in
+      if not (Vec.all_finite predicted && Array.for_all (fun t -> t >= 0.0) predicted) then
+        trace_candidate ~kernel ~prefix ~verdict:(Trace.Rejected Trace.Non_finite) ~score:Float.nan
+          "non-finite or negative predicted times"
+      else begin
+        let corr = Stats.pearson predicted stalls_per_core_grid in
+        let rmse = Stats.rmse (Array.map fitted.Fit.eval threads) factors in
+        if not (Float.is_finite corr && Float.is_finite rmse) then
+          trace_candidate ~kernel ~prefix ~verdict:(Trace.Rejected Trace.Non_finite) ~score:Float.nan
+            "correlation or factor RMSE not finite"
+        else
+          match !best with
+          | Some (_, _, best_rmse, best_prefix, best_kernel) ->
+              let best_corr = !bar in
+              if corr > best_corr +. correlation_band then begin
+                trace_decision ~incumbent:(label best_kernel best_prefix)
+                  ~challenger:(label kernel prefix) ~winner:(label kernel prefix)
+                  ~rule:"correlation"
+                  (Printf.sprintf "correlation %.4f clears band over %.4f" corr best_corr);
+                trace_candidate ~kernel ~prefix ~verdict:Trace.Accepted ~score:rmse
+                  (Printf.sprintf "corr %.4f" corr);
+                bar := Float.max corr best_corr;
+                best := Some (fitted, corr, rmse, prefix, kernel)
+              end
+              else if corr >= best_corr -. correlation_band && rmse < best_rmse then begin
+                trace_decision ~incumbent:(label best_kernel best_prefix)
+                  ~challenger:(label kernel prefix) ~winner:(label kernel prefix)
+                  ~rule:"rmse-tie-break"
+                  (Printf.sprintf
+                     "corr %.4f within %.2f band of %.4f; factor RMSE %.4g < %.4g" corr
+                     correlation_band best_corr rmse best_rmse);
+                trace_candidate ~kernel ~prefix ~verdict:Trace.Accepted ~score:rmse
+                  (Printf.sprintf "corr %.4f" corr);
+                bar := Float.max corr best_corr;
+                best := Some (fitted, corr, rmse, prefix, kernel)
+              end
+              else
+                trace_candidate ~kernel ~prefix ~verdict:(Trace.Rejected Trace.Tie_break) ~score:rmse
+                  (Printf.sprintf "corr %.4f, factor RMSE %.4g loses to %s (corr %.4f, RMSE %.4g)"
+                     corr rmse (label best_kernel best_prefix) best_corr best_rmse)
+          | None ->
+              trace_candidate ~kernel ~prefix ~verdict:Trace.Accepted ~score:rmse
+                (Printf.sprintf "first surviving candidate, corr %.4f" corr);
+              bar := corr;
+              best := Some (fitted, corr, rmse, prefix, kernel)
+      end
     end
   in
   let n = m - config.checkpoints in
@@ -73,19 +158,30 @@ let fit ?(config = Approximation.default_config) ~threads ~times ~stalls_per_cor
        List.iter
          (fun kernel ->
            match Approximation.fit_prefix kernel ~xs:threads ~ys:factors ~prefix with
-           | None -> ()
+           | None ->
+               trace_candidate ~kernel:kernel.Kernel.name ~prefix
+                 ~verdict:(Trace.Rejected Trace.Fit_failed) ~score:Float.nan
+                 "kernel could not be fitted on this prefix"
            | Some fitted ->
                if Fit.realistic fitted ~x_min:1.0 ~x_max:target_max ~require_nonnegative:true then
-                 consider fitted)
+                 consider ~prefix fitted
+               else
+                 trace_candidate ~kernel:fitted.Fit.kernel_name ~prefix
+                   ~verdict:(Trace.Rejected Trace.Realism) ~score:Float.nan
+                   "pole, explosion or deep negativity inside [1, target]")
          Catalogue.all
      done);
   (* Always offer the constant-median factor as a candidate: with flat
      series it is frequently the most faithful translator. *)
-  consider (constant_fit (median factors));
+  consider ~prefix:m (constant_fit (median factors));
   match !best with
-  | Some (fitted, correlation, _) -> { fitted; correlation; measured_factors = factors }
+  | Some (fitted, correlation, rmse, prefix, kernel) ->
+      trace_winner ~kernel ~prefix ~score:rmse ~correlation;
+      { fitted; correlation; measured_factors = factors }
   | None ->
       let fitted = constant_fit (median factors) in
+      trace_winner ~kernel:fitted.Fit.kernel_name ~prefix:m ~score:Float.nan
+        ~correlation:Float.nan;
       { fitted; correlation = Float.nan; measured_factors = factors }
 
 let predict_times t ~stalls_per_core_grid ~target_grid =

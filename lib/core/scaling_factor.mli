@@ -14,7 +14,10 @@ open Estima_kernels
 
 type t = {
   fitted : Fit.fitted;  (** The chosen factor function of the core count. *)
-  correlation : float;  (** Correlation achieved on the target grid. *)
+  correlation : float;
+      (** Correlation achieved on the target grid {e by the chosen
+          [fitted]} — also when it won the within-band RMSE tie-break
+          against a candidate with marginally higher correlation. *)
   measured_factors : float array;  (** time / stalls-per-core at measured points. *)
 }
 
@@ -32,7 +35,11 @@ val fit :
     the same prefix sweep as stall categories; unrealistic fits (poles,
     sign flips over the grid) are discarded.  Falls back to the median
     measured factor (a constant) when nothing survives.  Raises
-    [Invalid_argument] on inconsistent lengths or non-positive stalls. *)
+    [Invalid_argument] on inconsistent lengths or non-positive stalls.
+
+    When a trace sink is installed ({!Estima_obs.Trace}), every candidate
+    is reported under the [factor-fit] stage, including the
+    correlation-vs-RMSE tie-break decisions inside the correlation band. *)
 
 val predict_times : t -> stalls_per_core_grid:float array -> target_grid:float array -> float array
 (** [factor(n) * stalls_per_core(n)] over the grid. *)

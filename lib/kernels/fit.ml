@@ -1,4 +1,5 @@
 open Estima_numerics
+module Trace = Estima_obs.Trace
 
 type fitted = {
   kernel_name : string;
@@ -20,11 +21,29 @@ let make_fitted (kernel : Kernel.t) params ~y_scale ~xs ~ys =
   if not (Vec.all_finite predictions) then None
   else Some { kernel_name = kernel.Kernel.name; params; y_scale; fit_rmse = Stats.rmse predictions ys; eval }
 
+(* Reports one [fit] call to the trace sink; free when tracing is off. *)
+let trace_attempt (kernel : Kernel.t) ~npoints status =
+  if Trace.enabled () then begin
+    Trace.incr "fit.attempts";
+    (match status with
+    | Trace.Fitted { lm_converged = true; _ } -> Trace.incr "fit.lm-converged"
+    | Trace.Fitted _ -> Trace.incr "fit.lm-unconverged"
+    | Trace.Not_applicable | Trace.No_guesses | Trace.Diverged -> Trace.incr "fit.failed");
+    Trace.emit (Trace.Fit_attempt { kernel = kernel.Kernel.name; points = npoints; status })
+  end
+
+let status_of_result ~lm_converged = function
+  | None -> Trace.Diverged
+  | Some fitted -> Trace.Fitted { rmse = fitted.fit_rmse; lm_converged }
+
 let fit (kernel : Kernel.t) ~xs ~ys =
   let npoints = Array.length xs in
   if npoints <> Array.length ys then invalid_arg "Fit.fit: length mismatch";
   if npoints = 0 then invalid_arg "Fit.fit: empty data";
-  if not (Kernel.applicable kernel ~npoints) then None
+  if not (Kernel.applicable kernel ~npoints) then begin
+    trace_attempt kernel ~npoints Trace.Not_applicable;
+    None
+  end
   else
     let y_scale =
       let m = Vec.norm_inf ys in
@@ -32,32 +51,44 @@ let fit (kernel : Kernel.t) ~xs ~ys =
     in
     let ys_norm = Array.map (fun y -> y /. y_scale) ys in
     let guesses = kernel.Kernel.initial_guesses ~xs ~ys:ys_norm in
-    if guesses = [] then None
-    else if kernel.Kernel.linear then
+    if guesses = [] then begin
+      trace_attempt kernel ~npoints Trace.No_guesses;
+      None
+    end
+    else if kernel.Kernel.linear then (
       (* The linearised guess already is the least-squares optimum. *)
       match guesses with
-      | params :: _ -> make_fitted kernel params ~y_scale ~xs ~ys
-      | [] -> None
+      | params :: _ ->
+          let result = make_fitted kernel params ~y_scale ~xs ~ys in
+          trace_attempt kernel ~npoints (status_of_result ~lm_converged:true result);
+          result
+      | [] -> None)
     else begin
       let objective = Kernel.residual_objective kernel ~xs ~ys:ys_norm in
       let best = ref None in
-      let consider params cost =
+      let consider params cost converged =
         match !best with
-        | Some (_, best_cost) when best_cost <= cost -> ()
-        | _ -> best := Some (params, cost)
+        | Some (_, best_cost, _) when best_cost <= cost -> ()
+        | _ -> best := Some (params, cost, converged)
       in
       List.iter
         (fun init ->
           let r0 = objective.Lm.residual init in
           if Vec.all_finite r0 then begin
             match Lm.minimize objective ~init with
-            | result -> consider result.Lm.params result.Lm.cost
+            | result ->
+                consider result.Lm.params result.Lm.cost (result.Lm.outcome = Lm.Converged)
             | exception Invalid_argument _ -> ()
           end)
         guesses;
       match !best with
-      | None -> None
-      | Some (params, _) -> make_fitted kernel params ~y_scale ~xs ~ys
+      | None ->
+          trace_attempt kernel ~npoints Trace.Diverged;
+          None
+      | Some (params, _, lm_converged) ->
+          let result = make_fitted kernel params ~y_scale ~xs ~ys in
+          trace_attempt kernel ~npoints (status_of_result ~lm_converged result);
+          result
     end
 
 let realistic fitted ~x_min ~x_max ~require_nonnegative =

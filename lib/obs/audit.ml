@@ -1,0 +1,106 @@
+type candidate = {
+  kernel : string;
+  prefix : int;
+  verdict : Trace.verdict;
+  score : float;
+  detail : string;
+}
+
+type winner = { kernel : string; prefix : int; score : float; correlation : float }
+
+type decision = {
+  incumbent : string;
+  challenger : string;
+  winner : string;
+  rule : string;
+  detail : string;
+}
+
+type record = {
+  stage : string;
+  subject : string;
+  candidates : candidate list;
+  decisions : decision list;
+  winner : winner option;
+  notes : string list;
+}
+
+type t = record list
+
+(* Accumulator with reversed lists; finalised in [of_events]. *)
+type acc = {
+  mutable rev_candidates : candidate list;
+  mutable rev_decisions : decision list;
+  mutable acc_winner : winner option;
+  mutable rev_notes : string list;
+}
+
+let of_events events =
+  let order : (string * string) list ref = ref [] in
+  let table : (string * string, acc) Hashtbl.t = Hashtbl.create 16 in
+  let get stage subject =
+    let key = (stage, subject) in
+    match Hashtbl.find_opt table key with
+    | Some a -> a
+    | None ->
+        let a = { rev_candidates = []; rev_decisions = []; acc_winner = None; rev_notes = [] } in
+        Hashtbl.add table key a;
+        order := key :: !order;
+        a
+  in
+  List.iter
+    (fun (e : Trace.event) ->
+      match e.Trace.payload with
+      | Trace.Candidate { stage; subject; kernel; prefix; verdict; score; detail } ->
+          let a = get stage subject in
+          a.rev_candidates <- { kernel; prefix; verdict; score; detail } :: a.rev_candidates
+      | Trace.Decision { stage; subject; incumbent; challenger; winner; rule; detail } ->
+          let a = get stage subject in
+          a.rev_decisions <- { incumbent; challenger; winner; rule; detail } :: a.rev_decisions
+      | Trace.Winner { stage; subject; kernel; prefix; score; correlation } ->
+          let a = get stage subject in
+          a.acc_winner <- Some { kernel; prefix; score; correlation }
+      | Trace.Note { stage; subject; text } ->
+          let a = get stage subject in
+          a.rev_notes <- text :: a.rev_notes
+      | Trace.Fit_attempt _ -> ())
+    events;
+  List.rev_map
+    (fun ((stage, subject) as key) ->
+      let a = Hashtbl.find table key in
+      {
+        stage;
+        subject;
+        candidates = List.rev a.rev_candidates;
+        decisions = List.rev a.rev_decisions;
+        winner = a.acc_winner;
+        notes = List.rev a.rev_notes;
+      })
+    !order
+
+let find t ~stage ~subject =
+  List.find_opt (fun r -> String.equal r.stage stage && String.equal r.subject subject) t
+
+let rejected r =
+  List.filter (fun c -> match c.verdict with Trace.Rejected _ -> true | Trace.Accepted -> false) r.candidates
+
+let rejection_counts r =
+  let gates =
+    [
+      Trace.Fit_failed;
+      Trace.Non_finite;
+      Trace.Realism;
+      Trace.Growth_cap;
+      Trace.Slope;
+      Trace.Factor_range;
+      Trace.Tie_break;
+    ]
+  in
+  List.filter_map
+    (fun gate ->
+      let n =
+        List.length
+          (List.filter (fun c -> c.verdict = Trace.Rejected gate) r.candidates)
+      in
+      if n = 0 then None else Some (gate, n))
+    gates

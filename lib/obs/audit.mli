@@ -1,0 +1,47 @@
+(** The audit view of a trace: selection events regrouped per (stage,
+    subject) so a prediction can explain, for every stall category and for
+    the scaling factor, which candidates were tried, which gate rejected
+    each loser, and what the winner scored. *)
+
+type candidate = {
+  kernel : string;
+  prefix : int;
+  verdict : Trace.verdict;
+  score : float;  (** [nan] when the candidate was rejected before scoring. *)
+  detail : string;
+}
+
+type winner = { kernel : string; prefix : int; score : float; correlation : float }
+
+type decision = {
+  incumbent : string;
+  challenger : string;
+  winner : string;
+  rule : string;
+  detail : string;
+}
+
+type record = {
+  stage : string;
+  subject : string;  (** Stall category name, or {!Trace.factor_subject}. *)
+  candidates : candidate list;  (** In consideration order. *)
+  decisions : decision list;
+  winner : winner option;
+  notes : string list;
+}
+
+type t = record list
+
+val of_events : Trace.event list -> t
+(** Groups [Candidate], [Decision], [Winner] and [Note] events by their
+    (stage, subject); records appear in order of first mention.
+    [Fit_attempt] events are not part of the audit (they belong to the raw
+    trace). *)
+
+val find : t -> stage:string -> subject:string -> record option
+
+val rejected : record -> candidate list
+
+val rejection_counts : record -> (Trace.gate * int) list
+(** How many candidates each gate rejected, gates in declaration order,
+    zero-count gates omitted. *)

@@ -1,0 +1,127 @@
+type gate =
+  | Fit_failed
+  | Non_finite
+  | Realism
+  | Growth_cap
+  | Slope
+  | Factor_range
+  | Tie_break
+
+let gate_to_string = function
+  | Fit_failed -> "fit-failed"
+  | Non_finite -> "non-finite"
+  | Realism -> "realism"
+  | Growth_cap -> "growth-cap"
+  | Slope -> "slope"
+  | Factor_range -> "factor-range"
+  | Tie_break -> "tie-break"
+
+type verdict = Accepted | Rejected of gate
+
+type fit_status =
+  | Fitted of { rmse : float; lm_converged : bool }
+  | Not_applicable
+  | No_guesses
+  | Diverged
+
+type payload =
+  | Fit_attempt of { kernel : string; points : int; status : fit_status }
+  | Candidate of {
+      stage : string;
+      subject : string;
+      kernel : string;
+      prefix : int;
+      verdict : verdict;
+      score : float;
+      detail : string;
+    }
+  | Decision of {
+      stage : string;
+      subject : string;
+      incumbent : string;
+      challenger : string;
+      winner : string;
+      rule : string;
+      detail : string;
+    }
+  | Winner of {
+      stage : string;
+      subject : string;
+      kernel : string;
+      prefix : int;
+      score : float;
+      correlation : float;
+    }
+  | Note of { stage : string; subject : string; text : string }
+
+type event = { seq : int; at_ns : int64; span : string list; payload : payload }
+
+type sink = {
+  on_event : event -> unit;
+  on_span : path:string list -> elapsed_ns:int64 -> unit;
+  on_counter : name:string -> by:int -> unit;
+}
+
+let stall_stage = "stall-fit"
+
+let factor_stage = "factor-fit"
+
+let fit_stage = "kernel-fit"
+
+let factor_subject = "scaling-factor"
+
+(* Global state: one process-wide sink.  The pipeline is sequential, so a
+   plain ref (no locking) is sufficient; the ref read is the entirety of
+   the disabled-tracing cost. *)
+let sink : sink option ref = ref None
+
+let enabled () = !sink <> None
+
+let set_sink s = sink := s
+
+let current_sink () = !sink
+
+let seq = ref 0
+
+(* Span stack, innermost first (reversed on export). *)
+let spans : string list ref = ref []
+
+let span_path () = List.rev !spans
+
+let default_clock () = Int64.of_float (Sys.time () *. 1e9)
+
+let clock = ref default_clock
+
+let set_clock f = clock := f
+
+let emit payload =
+  match !sink with
+  | None -> ()
+  | Some s ->
+      incr seq;
+      s.on_event { seq = !seq; at_ns = !clock (); span = span_path (); payload }
+
+let incr ?(by = 1) name =
+  match !sink with None -> () | Some s -> s.on_counter ~name ~by
+
+let with_span name f =
+  match !sink with
+  | None -> f ()
+  | Some _ ->
+      spans := name :: !spans;
+      let path = span_path () in
+      let t0 = !clock () in
+      let close () =
+        let elapsed_ns = Int64.sub (!clock ()) t0 in
+        (match !spans with _ :: rest -> spans := rest | [] -> ());
+        (* The sink may have changed (or vanished) while the span was
+           open; report to whoever is installed at close time. *)
+        match !sink with None -> () | Some s -> s.on_span ~path ~elapsed_ns
+      in
+      (match f () with
+      | v ->
+          close ();
+          v
+      | exception e ->
+          close ();
+          raise e)

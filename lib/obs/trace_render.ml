@@ -1,0 +1,295 @@
+(* ------------------------------- text ------------------------------- *)
+
+let verdict_to_string = function
+  | Trace.Accepted -> "accepted"
+  | Trace.Rejected gate -> "rejected:" ^ Trace.gate_to_string gate
+
+let score_to_string s = if Float.is_finite s then Printf.sprintf "%.4g" s else "-"
+
+let pp_candidate ppf (c : Audit.candidate) =
+  Format.fprintf ppf "%-12s prefix=%-2d %-20s score=%-10s %s" c.Audit.kernel c.Audit.prefix
+    (verdict_to_string c.Audit.verdict)
+    (score_to_string c.Audit.score)
+    c.Audit.detail
+
+let pp_record ppf (r : Audit.record) =
+  Format.fprintf ppf "@[<v>[%s] %s@," r.Audit.stage r.Audit.subject;
+  (match r.Audit.winner with
+  | Some w ->
+      Format.fprintf ppf "  winner: %s (prefix %d, score %s%s)@," w.Audit.kernel w.Audit.prefix
+        (score_to_string w.Audit.score)
+        (if Float.is_finite w.Audit.correlation then
+           Printf.sprintf ", correlation %.4f" w.Audit.correlation
+         else "")
+  | None -> Format.fprintf ppf "  winner: (none)@,");
+  List.iter (fun n -> Format.fprintf ppf "  note: %s@," n) r.Audit.notes;
+  List.iter (fun c -> Format.fprintf ppf "  %a@," pp_candidate c) r.Audit.candidates;
+  List.iter
+    (fun (d : Audit.decision) ->
+      Format.fprintf ppf "  decision: %s vs %s -> %s by %s (%s)@," d.Audit.incumbent
+        d.Audit.challenger d.Audit.winner d.Audit.rule d.Audit.detail)
+    r.Audit.decisions;
+  Format.fprintf ppf "@]"
+
+let pp_audit ppf audit =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Format.fprintf ppf "@,";
+      pp_record ppf r)
+    audit;
+  Format.fprintf ppf "@]"
+
+let fit_status_to_string = function
+  | Trace.Fitted { rmse; lm_converged } ->
+      Printf.sprintf "fitted rmse=%.4g%s" rmse (if lm_converged then "" else " (lm not converged)")
+  | Trace.Not_applicable -> "not-applicable"
+  | Trace.No_guesses -> "no-guesses"
+  | Trace.Diverged -> "diverged"
+
+let pp_event ppf (e : Trace.event) =
+  let where = match e.Trace.span with [] -> "" | path -> String.concat "/" path ^ " " in
+  match e.Trace.payload with
+  | Trace.Fit_attempt { kernel; points; status } ->
+      Format.fprintf ppf "#%-4d %sfit %s on %d points: %s" e.Trace.seq where kernel points
+        (fit_status_to_string status)
+  | Trace.Candidate { stage; subject; kernel; prefix; verdict; score; detail } ->
+      Format.fprintf ppf "#%-4d %s[%s] %s: %s@%d %s score=%s %s" e.Trace.seq where stage subject
+        kernel prefix (verdict_to_string verdict) (score_to_string score) detail
+  | Trace.Decision { stage; subject; incumbent; challenger; winner; rule; detail } ->
+      Format.fprintf ppf "#%-4d %s[%s] %s: %s vs %s -> %s by %s (%s)" e.Trace.seq where stage
+        subject incumbent challenger winner rule detail
+  | Trace.Winner { stage; subject; kernel; prefix; score; correlation } ->
+      Format.fprintf ppf "#%-4d %s[%s] %s: winner %s@%d score=%s%s" e.Trace.seq where stage subject
+        kernel prefix (score_to_string score)
+        (if Float.is_finite correlation then Printf.sprintf " corr=%.4f" correlation else "")
+  | Trace.Note { stage; subject; text } ->
+      Format.fprintf ppf "#%-4d %s[%s] %s: %s" e.Trace.seq where stage subject text
+
+let pp_events ppf events =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun e -> Format.fprintf ppf "%a@," pp_event e) events;
+  Format.fprintf ppf "@]"
+
+let pp_span_stats ppf stats =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (s : Recorder.span_stat) ->
+      Format.fprintf ppf "%-40s %6d call%s %12.3f ms@,"
+        (String.concat "/" s.Recorder.path)
+        s.Recorder.count
+        (if s.Recorder.count = 1 then " " else "s")
+        (Int64.to_float s.Recorder.total_ns /. 1e6))
+    stats;
+  Format.fprintf ppf "@]"
+
+let pp_counters ppf counters =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun (name, v) -> Format.fprintf ppf "%-40s %d@," name v) counters;
+  Format.fprintf ppf "@]"
+
+let pp_recorder ppf recorder =
+  let audit = Audit.of_events (Recorder.events recorder) in
+  Format.fprintf ppf "@[<v>== fit-selection audit ==@,%a@," pp_audit audit;
+  (match Recorder.span_stats recorder with
+  | [] -> ()
+  | stats -> Format.fprintf ppf "@,== span timings ==@,%a@," pp_span_stats stats);
+  match Recorder.counters recorder with
+  | [] -> Format.fprintf ppf "@]"
+  | counters -> Format.fprintf ppf "@,== counters ==@,%a@]" pp_counters counters
+
+(* ------------------------------- JSON ------------------------------- *)
+
+let escape_json buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let json_float buf f =
+  if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.17g" f)
+  else Buffer.add_string buf "null"
+
+let json_fields buf fields =
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, emit_value) ->
+      if i > 0 then Buffer.add_char buf ',';
+      escape_json buf k;
+      Buffer.add_char buf ':';
+      emit_value buf)
+    fields;
+  Buffer.add_char buf '}'
+
+let json_list buf emit_item items =
+  Buffer.add_char buf '[';
+  List.iteri
+    (fun i item ->
+      if i > 0 then Buffer.add_char buf ',';
+      emit_item buf item)
+    items;
+  Buffer.add_char buf ']'
+
+let str s buf = escape_json buf s
+
+let num f buf = json_float buf f
+
+let int_ n buf = Buffer.add_string buf (string_of_int n)
+
+let bool_ b buf = Buffer.add_string buf (if b then "true" else "false")
+
+let json_payload buf (p : Trace.payload) =
+  match p with
+  | Trace.Fit_attempt { kernel; points; status } ->
+      let status_fields =
+        match status with
+        | Trace.Fitted { rmse; lm_converged } ->
+            [ ("status", str "fitted"); ("rmse", num rmse); ("lm_converged", bool_ lm_converged) ]
+        | Trace.Not_applicable -> [ ("status", str "not-applicable") ]
+        | Trace.No_guesses -> [ ("status", str "no-guesses") ]
+        | Trace.Diverged -> [ ("status", str "diverged") ]
+      in
+      json_fields buf
+        ([ ("type", str "fit_attempt"); ("kernel", str kernel); ("points", int_ points) ]
+        @ status_fields)
+  | Trace.Candidate { stage; subject; kernel; prefix; verdict; score; detail } ->
+      json_fields buf
+        [
+          ("type", str "candidate");
+          ("stage", str stage);
+          ("subject", str subject);
+          ("kernel", str kernel);
+          ("prefix", int_ prefix);
+          ( "verdict",
+            str (match verdict with Trace.Accepted -> "accepted" | Trace.Rejected _ -> "rejected") );
+          ( "gate",
+            fun buf ->
+              match verdict with
+              | Trace.Accepted -> Buffer.add_string buf "null"
+              | Trace.Rejected gate -> escape_json buf (Trace.gate_to_string gate) );
+          ("score", num score);
+          ("detail", str detail);
+        ]
+  | Trace.Decision { stage; subject; incumbent; challenger; winner; rule; detail } ->
+      json_fields buf
+        [
+          ("type", str "decision");
+          ("stage", str stage);
+          ("subject", str subject);
+          ("incumbent", str incumbent);
+          ("challenger", str challenger);
+          ("winner", str winner);
+          ("rule", str rule);
+          ("detail", str detail);
+        ]
+  | Trace.Winner { stage; subject; kernel; prefix; score; correlation } ->
+      json_fields buf
+        [
+          ("type", str "winner");
+          ("stage", str stage);
+          ("subject", str subject);
+          ("kernel", str kernel);
+          ("prefix", int_ prefix);
+          ("score", num score);
+          ("correlation", num correlation);
+        ]
+  | Trace.Note { stage; subject; text } ->
+      json_fields buf
+        [ ("type", str "note"); ("stage", str stage); ("subject", str subject); ("text", str text) ]
+
+let json_event buf (e : Trace.event) =
+  json_fields buf
+    [
+      ("seq", int_ e.Trace.seq);
+      ("at_ns", fun buf -> Buffer.add_string buf (Int64.to_string e.Trace.at_ns));
+      ("span", fun buf -> json_list buf (fun buf s -> escape_json buf s) e.Trace.span);
+      ("payload", fun buf -> json_payload buf e.Trace.payload);
+    ]
+
+let json_candidate buf (c : Audit.candidate) =
+  json_fields buf
+    [
+      ("kernel", str c.Audit.kernel);
+      ("prefix", int_ c.Audit.prefix);
+      ( "verdict",
+        str (match c.Audit.verdict with Trace.Accepted -> "accepted" | Trace.Rejected _ -> "rejected")
+      );
+      ( "gate",
+        fun buf ->
+          match c.Audit.verdict with
+          | Trace.Accepted -> Buffer.add_string buf "null"
+          | Trace.Rejected gate -> escape_json buf (Trace.gate_to_string gate) );
+      ("score", num c.Audit.score);
+      ("detail", str c.Audit.detail);
+    ]
+
+let json_record buf (r : Audit.record) =
+  json_fields buf
+    [
+      ("stage", str r.Audit.stage);
+      ("subject", str r.Audit.subject);
+      ( "winner",
+        fun buf ->
+          match r.Audit.winner with
+          | None -> Buffer.add_string buf "null"
+          | Some w ->
+              json_fields buf
+                [
+                  ("kernel", str w.Audit.kernel);
+                  ("prefix", int_ w.Audit.prefix);
+                  ("score", num w.Audit.score);
+                  ("correlation", num w.Audit.correlation);
+                ] );
+      ("candidates", fun buf -> json_list buf json_candidate r.Audit.candidates);
+      ( "decisions",
+        fun buf ->
+          json_list buf
+            (fun buf (d : Audit.decision) ->
+              json_fields buf
+                [
+                  ("incumbent", str d.Audit.incumbent);
+                  ("challenger", str d.Audit.challenger);
+                  ("winner", str d.Audit.winner);
+                  ("rule", str d.Audit.rule);
+                  ("detail", str d.Audit.detail);
+                ])
+            r.Audit.decisions );
+      ("notes", fun buf -> json_list buf (fun buf n -> escape_json buf n) r.Audit.notes);
+    ]
+
+let json_of_recorder recorder =
+  let buf = Buffer.create 4096 in
+  let events = Recorder.events recorder in
+  let audit = Audit.of_events events in
+  json_fields buf
+    [
+      ("events", fun buf -> json_list buf json_event events);
+      ("audit", fun buf -> json_list buf json_record audit);
+      ( "spans",
+        fun buf ->
+          json_list buf
+            (fun buf (s : Recorder.span_stat) ->
+              json_fields buf
+                [
+                  ("path", fun buf -> json_list buf (fun buf p -> escape_json buf p) s.Recorder.path);
+                  ("count", int_ s.Recorder.count);
+                  ( "total_ns",
+                    fun buf -> Buffer.add_string buf (Int64.to_string s.Recorder.total_ns) );
+                ])
+            (Recorder.span_stats recorder) );
+      ( "counters",
+        fun buf ->
+          json_fields buf
+            (List.map (fun (name, v) -> (name, int_ v)) (Recorder.counters recorder)) );
+    ];
+  Buffer.add_char buf '\n';
+  Buffer.contents buf

@@ -1,0 +1,23 @@
+(** Text and JSON renderers for traces, audits, span timings and counters.
+
+    The JSON renderer is hand-rolled (the repository carries no JSON
+    dependency): strings are escaped per RFC 8259 and non-finite floats
+    are rendered as [null]. *)
+
+val pp_audit : Format.formatter -> Audit.t -> unit
+(** Per-subject detail: the winner line followed by every candidate with
+    its verdict (and rejection gate), score and explanation. *)
+
+val pp_events : Format.formatter -> Trace.event list -> unit
+(** Flat chronological event listing. *)
+
+val pp_span_stats : Format.formatter -> Recorder.span_stat list -> unit
+
+val pp_counters : Format.formatter -> (string * int) list -> unit
+
+val pp_recorder : Format.formatter -> Recorder.t -> unit
+(** The full text report: audit, span timings, counters. *)
+
+val json_of_recorder : Recorder.t -> string
+(** One JSON object: [{"events": [...], "audit": [...], "spans": [...],
+    "counters": {...}}]. *)

@@ -11,6 +11,13 @@ let opteron_2sockets = Machines.restrict_sockets Machines.opteron48 ~sockets:2
 
 let repetitions = 5
 
+(* Opt-in audit printing for the reproduction harness: with ESTIMA_TRACE
+   set (to anything but "" or "0"), every prediction made through
+   [predict] runs under a recorder and prints the fit-selection audit
+   table, so each reproduced figure/table explains its kernel choices. *)
+let trace_enabled =
+  lazy (match Sys.getenv_opt "ESTIMA_TRACE" with None | Some "" | Some "0" -> false | Some _ -> true)
+
 let truth_seed_offset = 7919
 
 let cache : (string, Series.t) Hashtbl.t = Hashtbl.create 64
@@ -67,7 +74,18 @@ let predict ?software ?(checkpoints = Approximation.default_config.Approximation
     }
   in
   let target_max = Option.value ~default:(Topology.cores target_machine) target_threads in
-  Predictor.predict ~config ~series ~target_max ()
+  if Lazy.force trace_enabled then begin
+    let recorder = Estima_obs.Recorder.create () in
+    let prediction =
+      Estima_obs.Recorder.record recorder (fun () -> Predictor.predict ~config ~series ~target_max ())
+    in
+    Printf.printf "\n[trace] %s: %s -> %s (%d cores)\n"
+      entry.Suite.spec.Estima_sim.Spec.name measure_machine.Topology.name
+      target_machine.Topology.name target_max;
+    Render.audit_summary (Estima_obs.Audit.of_events (Estima_obs.Recorder.events recorder));
+    prediction
+  end
+  else Predictor.predict ~config ~series ~target_max ()
 
 let errors_against_truth ~prediction ~truth ?(from_threads = 1) () =
   Error.evaluate ~predicted:prediction.Predictor.predicted_times ~measured:(Series.times truth)

@@ -40,6 +40,51 @@ let series ~title ~grid ~columns =
   in
   table ~header ~rows
 
+(* Fit-selection audit summary: one row per audited subject (stall
+   category or scaling factor) with the winner and the per-gate rejection
+   tally, so every reproduced figure/table can print which kernel won each
+   category and why the others lost. *)
+let audit_summary (audit : Estima_obs.Audit.t) =
+  subheading "fit-selection audit";
+  let gate_summary record =
+    match Estima_obs.Audit.rejection_counts record with
+    | [] -> "-"
+    | counts ->
+        String.concat ", "
+          (List.map
+             (fun (gate, n) -> Printf.sprintf "%s x%d" (Estima_obs.Trace.gate_to_string gate) n)
+             counts)
+  in
+  let rows =
+    List.map
+      (fun (r : Estima_obs.Audit.record) ->
+        let winner, score, corr =
+          match r.Estima_obs.Audit.winner with
+          | None -> ("(none)", "-", "-")
+          | Some w ->
+              ( Printf.sprintf "%s@%d" w.Estima_obs.Audit.kernel w.Estima_obs.Audit.prefix,
+                (if Float.is_finite w.Estima_obs.Audit.score then
+                   Printf.sprintf "%.4g" w.Estima_obs.Audit.score
+                 else "-"),
+                if Float.is_finite w.Estima_obs.Audit.correlation then
+                  Printf.sprintf "%.4f" w.Estima_obs.Audit.correlation
+                else "-" )
+        in
+        [
+          r.Estima_obs.Audit.stage;
+          r.Estima_obs.Audit.subject;
+          winner;
+          score;
+          corr;
+          string_of_int (List.length r.Estima_obs.Audit.candidates);
+          gate_summary r;
+        ])
+      audit
+  in
+  table
+    ~header:[ "stage"; "subject"; "winner"; "score"; "corr"; "cands"; "rejections" ]
+    ~rows
+
 let pct x = Printf.sprintf "%.1f%%" (100.0 *. x)
 
 let time_s x = Printf.sprintf "%.4gs" x

@@ -14,6 +14,12 @@ val series : title:string -> grid:float array -> columns:(string * float array) 
 (** Prints one row per grid point with each named column; columns must
     match the grid length. *)
 
+val audit_summary : Estima_obs.Audit.t -> unit
+(** One row per audited subject (stall category / scaling factor): the
+    winning (kernel, prefix), its score and correlation, the number of
+    candidates considered and the per-gate rejection tally.  The detail
+    behind every reproduced figure's kernel choices. *)
+
 val pct : float -> string
 (** [pct 0.123] is ["12.3%"]. *)
 

@@ -124,6 +124,94 @@ let test_extrapolation_zero_fit () =
   Alcotest.(check (float 0.0)) "zero everywhere" 0.0
     (zf.Extrapolation.choice.Approximation.fitted.Estima_kernels.Fit.eval 48.0)
 
+let test_extrapolation_empty_series_rejected () =
+  let empty = { Series.machine = opteron1s; spec_name = "empty"; samples = [||] } in
+  match
+    Extrapolation.extrapolate ~series:empty ~target_max:8 ~include_software:false
+      ~include_frontend:false ()
+  with
+  | _ -> Alcotest.fail "empty series accepted"
+  | exception Invalid_argument msg ->
+      let contains needle =
+        let nl = String.length needle and tl = String.length msg in
+        let rec scan i = i + nl <= tl && (String.sub msg i nl = needle || scan (i + 1)) in
+        scan 0
+      in
+      Alcotest.(check bool) (Printf.sprintf "message %S names the problem" msg) true
+        (contains "no samples")
+
+let synthetic_sample ~threads ~counters ~software =
+  {
+    Sample.threads;
+    time_seconds = 0.001 *. float_of_int threads;
+    cycles = 1e9;
+    counters;
+    software;
+    footprint_lines = 100;
+    useful_cycles = 1e6;
+  }
+
+let test_extrapolation_software_union_across_samples () =
+  (* The excluded software set is the union across samples: a category the
+     first sample happens to report among its counters, but that any later
+     sample attributes to a software plugin, must still be dropped
+     everywhere when software stalls are off. *)
+  let sample n =
+    let gc = ("gc-pause", 50.0 +. (10.0 *. float_of_int n)) in
+    let counters = ("0D2h", 600.0 *. float_of_int n) :: (if n = 1 then [ gc ] else []) in
+    let software = if n = 1 then [] else [ gc ] in
+    synthetic_sample ~threads:n ~counters ~software
+  in
+  let series =
+    Series.make ~machine:opteron1s ~spec_name:"disagreeing" (List.init 8 (fun i -> sample (i + 1)))
+  in
+  let no_sw =
+    Extrapolation.extrapolate ~series ~target_max:16 ~include_software:false ~include_frontend:false ()
+  in
+  Alcotest.(check (list string)) "only the hardware category survives" [ "0D2h" ]
+    (List.map (fun f -> f.Extrapolation.category) no_sw.Extrapolation.fits);
+  (match Extrapolation.category_values no_sw "gc-pause" with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "software category leaked through the union filter");
+  let with_sw =
+    Extrapolation.extrapolate ~series ~target_max:16 ~include_software:true ~include_frontend:false ()
+  in
+  Alcotest.(check int) "both categories with software on" 2 (List.length with_sw.Extrapolation.fits)
+
+let test_extrapolation_clamps_categories_and_total () =
+  (* Kernels may dip slightly below zero at low core counts; the category
+     accessor and the total must clamp identically so the per-category
+     curves sum to exactly the reported total. *)
+  let grid = Array.init 10 (fun i -> float_of_int (i + 1)) in
+  let fit name eval =
+    {
+      Extrapolation.category = name;
+      choice =
+        {
+          Approximation.fitted =
+            { Estima_kernels.Fit.kernel_name = "Synthetic"; params = [||]; y_scale = 1.0; fit_rmse = 0.0; eval };
+          prefix = 5;
+          checkpoint_rmse = 0.0;
+        };
+      measured = [||];
+    }
+  in
+  let t =
+    {
+      Extrapolation.fits = [ fit "dips" (fun n -> n -. 6.0); fit "flat" (fun _ -> 10.0) ];
+      threads = [| 1.0; 2.0; 3.0 |];
+      target_grid = grid;
+    }
+  in
+  let dips = Extrapolation.category_values t "dips" in
+  let flat = Extrapolation.category_values t "flat" in
+  Array.iteri
+    (fun i n ->
+      Alcotest.(check (float 1e-12)) "category clamped at zero" (Float.max 0.0 (n -. 6.0)) dips.(i);
+      Alcotest.(check (float 1e-9)) "total equals sum of clamped categories"
+        (dips.(i) +. flat.(i)) (Extrapolation.total_stalls t n))
+    grid
+
 let test_extrapolation_target_below_window_rejected () =
   let series = intruder_series () in
   (try
@@ -160,6 +248,54 @@ let test_scaling_factor_correlation_high () =
   if Float.is_finite p.Predictor.factor.Scaling_factor.correlation then
     Alcotest.(check bool) "correlation above 0.9" true
       (p.Predictor.factor.Scaling_factor.correlation > 0.9)
+
+let test_scaling_factor_tie_break_reports_winner_correlation () =
+  (* Regression: a core-count-dependent factor that displaces the running
+     best through the RMSE tie-break (inside the correlation band) must
+     report its own correlation.  The selection used to store
+     [Float.max corr best_corr], i.e. the displaced incumbent's higher
+     correlation, so the reported number described a fit that lost. *)
+  let m = 12 in
+  let threads = Array.init m (fun i -> float_of_int (i + 1)) in
+  let factor n = 2.0 +. (0.1 *. n) +. (0.05 *. sin n) in
+  let spc = Array.map (fun n -> 100.0 /. n) threads in
+  let times = Array.mapi (fun i n -> factor n *. spc.(i)) threads in
+  let grid = Array.init 24 (fun i -> float_of_int (i + 1)) in
+  let spc_grid = Array.map (fun n -> 100.0 /. n) grid in
+  let recorder = Estima_obs.Recorder.create () in
+  let f =
+    Estima_obs.Recorder.record recorder (fun () ->
+        Scaling_factor.fit ~threads ~times ~stalls_per_core_measured:spc
+          ~stalls_per_core_grid:spc_grid ~target_grid:grid ())
+  in
+  (* Guard: this data must actually exercise the tie-break branch, and the
+     fit it selected must be the final winner — otherwise the assertion
+     below would pass vacuously and the regression could sneak back in. *)
+  let winner_label =
+    List.find_map
+      (fun e ->
+        match e.Estima_obs.Trace.payload with
+        | Estima_obs.Trace.Winner { kernel; prefix; _ } ->
+            Some (Printf.sprintf "%s@%d" kernel prefix)
+        | _ -> None)
+      (Estima_obs.Recorder.events recorder)
+  in
+  let tie_break_winners =
+    List.filter_map
+      (fun e ->
+        match e.Estima_obs.Trace.payload with
+        | Estima_obs.Trace.Decision { rule = "rmse-tie-break"; winner; _ } -> Some winner
+        | _ -> None)
+      (Estima_obs.Recorder.events recorder)
+  in
+  Alcotest.(check bool) "rmse tie-break exercised" true (tie_break_winners <> []);
+  Alcotest.(check bool) "final winner came out of a tie-break" true
+    (match winner_label with Some w -> List.mem w tie_break_winners | None -> false);
+  (* The reported correlation must describe the chosen fit. *)
+  let predicted = Scaling_factor.predict_times f ~stalls_per_core_grid:spc_grid ~target_grid:grid in
+  let recomputed = Estima_numerics.Stats.pearson predicted spc_grid in
+  Alcotest.(check (float 1e-12)) "correlation describes the chosen fit" recomputed
+    f.Scaling_factor.correlation
 
 let test_scaling_factor_rejects_nonpositive_stalls () =
   (try
@@ -390,9 +526,15 @@ let suite =
     ("extrapolation stalls per core positive", `Quick, test_extrapolation_stalls_per_core_positive);
     ("extrapolation dominant categories", `Quick, test_extrapolation_dominant_categories);
     ("extrapolation zero fit", `Quick, test_extrapolation_zero_fit);
+    ("extrapolation empty series rejected", `Quick, test_extrapolation_empty_series_rejected);
+    ("extrapolation software union across samples", `Quick, test_extrapolation_software_union_across_samples);
+    ("extrapolation clamps categories and total", `Quick, test_extrapolation_clamps_categories_and_total);
     ("extrapolation target below window rejected", `Quick, test_extrapolation_target_below_window_rejected);
     ("scaling factor constant data", `Quick, test_scaling_factor_constant_data);
     ("scaling factor correlation high", `Quick, test_scaling_factor_correlation_high);
+    ( "scaling factor tie-break reports winner correlation",
+      `Quick,
+      test_scaling_factor_tie_break_reports_winner_correlation );
     ("scaling factor rejects nonpositive stalls", `Quick, test_scaling_factor_rejects_nonpositive_stalls);
     ("predictor grid and window", `Quick, test_predictor_grid_and_window);
     ("predictor matches measured region", `Quick, test_predictor_matches_measured_region);

@@ -10,6 +10,7 @@ let () =
       ("counters", Test_counters.suite);
       ("workloads", Test_workloads.suite);
       ("estima", Test_estima.suite);
+      ("obs", Test_obs.suite);
       ("repro", Test_repro.suite);
       ("properties", Test_properties.suite);
     ]

@@ -212,6 +212,54 @@ let prop_approximation_interpolates_linear_data =
           let want = a +. (b *. 24.0) in
           Float.abs (p -. want) <= 0.15 *. Float.max 1.0 want)
 
+let prop_extrapolation_clamped_accounting =
+  (* Whatever the per-category curves do — including dipping below zero —
+     [stalls_per_core t.(i) * n] must equal the sum of the clamped
+     [category_values] at every grid point: the per-category view and the
+     total must clamp identically. *)
+  QCheck.Test.make ~count:50 ~name:"stalls per core times n equals sum of clamped categories"
+    QCheck.(
+      list_of_size
+        Gen.(int_range 1 4)
+        (triple (float_range (-50.0) 50.0) (float_range (-10.0) 10.0) (float_range (-1.0) 1.0)))
+    (fun coeffs ->
+      QCheck.assume (coeffs <> []);
+      let grid = Array.init 16 (fun i -> float_of_int (i + 1)) in
+      let fits =
+        List.mapi
+          (fun k (a, b, c) ->
+            {
+              Estima.Extrapolation.category = Printf.sprintf "c%d" k;
+              choice =
+                {
+                  Estima.Approximation.fitted =
+                    {
+                      Fit.kernel_name = "Synthetic";
+                      params = [||];
+                      y_scale = 1.0;
+                      fit_rmse = 0.0;
+                      eval = (fun n -> a +. (b *. n) +. (c *. n *. n));
+                    };
+                  prefix = 3;
+                  checkpoint_rmse = 0.0;
+                };
+              measured = [||];
+            })
+          coeffs
+      in
+      let t = { Estima.Extrapolation.fits; threads = grid; target_grid = grid } in
+      let per_category =
+        List.map (fun f -> Estima.Extrapolation.category_values t f.Estima.Extrapolation.category) fits
+      in
+      let spc = Estima.Extrapolation.stalls_per_core t in
+      Array.for_all Fun.id
+        (Array.mapi
+           (fun i n ->
+             let sum = List.fold_left (fun acc vs -> acc +. vs.(i)) 0.0 per_category in
+             let total = spc.(i) *. n in
+             Float.abs (sum -. total) <= 1e-9 *. Float.max 1.0 (Float.abs total))
+           grid))
+
 let prop_error_metric_zero_for_perfect_prediction =
   QCheck.Test.make ~count:30 ~name:"error is zero for perfect predictions"
     QCheck.(list_of_size (Gen.return 6) (float_range 0.1 100.0))
@@ -239,5 +287,6 @@ let suite =
       prop_engine_stalls_nonnegative;
       prop_single_thread_no_contention_stalls;
       prop_approximation_interpolates_linear_data;
+      prop_extrapolation_clamped_accounting;
       prop_error_metric_zero_for_perfect_prediction;
     ]
