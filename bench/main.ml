@@ -3,11 +3,19 @@
    pipeline's building blocks with Bechamel.
 
    Usage:
-     bench/main.exe                 run everything
-     bench/main.exe T4 F8 ...       run selected experiments
-     bench/main.exe --no-micro      skip the Bechamel microbenchmarks
-     bench/main.exe --fit-timing    only report fit-search timing per
-                                    pipeline stage (trace spans+counters) *)
+     bench/main.exe                   run everything
+     bench/main.exe T4 F8 ...         run selected experiments
+     bench/main.exe --list            print the experiment ids and exit
+     bench/main.exe --no-micro        skip the Bechamel microbenchmarks
+     bench/main.exe --fit-timing      only report fit-search timing per
+                                      pipeline stage (trace spans+counters)
+     bench/main.exe --jobs N          run fit search and experiments on N
+                                      domains (default: ESTIMA_JOBS or 1)
+     bench/main.exe --par-scaling [ID ...]
+                                      time the reproduction (or the given
+                                      experiments) at jobs in {1,2,4,cores},
+                                      check the outputs are byte-identical,
+                                      and write BENCH_par.json *)
 
 open Estima_machine
 open Estima_sim
@@ -108,26 +116,128 @@ let fit_timing () =
     (Estima_obs.Recorder.counters recorder);
   Printf.printf "total predict time: %.3f ms (cpu)\n%!" (1e3 *. elapsed)
 
+(* ----------------------- parallel scaling ------------------------- *)
+
+let resolve_experiments ids =
+  let ids = match ids with [] -> List.map fst Estima_repro.All.experiments | ids -> ids in
+  List.map
+    (fun id ->
+      match Estima_repro.All.find id with
+      | Some run -> (String.uppercase_ascii id, run)
+      | None ->
+          prerr_endline
+            (Printf.sprintf "unknown experiment %S; valid ids: %s" id
+               (String.concat ", " (List.map fst Estima_repro.All.experiments)));
+          exit 1)
+    ids
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Time the selected experiments at each jobs setting, cold-starting the
+   measurement cache every run so the runs are comparable, and verify
+   that every parallel run's output is byte-identical to jobs=1 —
+   the determinism guarantee the parallel harness makes. *)
+let par_scaling ids =
+  let experiments = resolve_experiments ids in
+  let cores = Domain.recommended_domain_count () in
+  let jobs_settings = List.sort_uniq compare [ 1; 2; 4; cores ] in
+  let run_once jobs =
+    Estima_par.Fanout.set_jobs (Some jobs);
+    Estima_repro.Lab.reset_cache ();
+    let t0 = Unix.gettimeofday () in
+    let (), output =
+      Estima_repro.Render.with_capture (fun () -> Estima_repro.All.run_many experiments)
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    Estima_par.Fanout.set_jobs None;
+    (wall, output)
+  in
+  Estima_repro.Render.heading "[BENCH] parallel scaling of the reproduction harness";
+  Printf.printf "experiments: %s\ncores: %d\n\n" (String.concat ", " (List.map fst experiments)) cores;
+  let runs =
+    List.map
+      (fun jobs ->
+        let wall, output = run_once jobs in
+        Printf.printf "jobs=%-3d %8.2f s  (%d bytes of output)\n%!" jobs wall (String.length output);
+        (jobs, wall, output))
+      jobs_settings
+  in
+  let _, base_wall, base_output = List.hd runs in
+  let rows =
+    List.map
+      (fun (jobs, wall, output) ->
+        let identical = String.equal output base_output in
+        if not identical then
+          Printf.printf "WARNING: jobs=%d output differs from jobs=1 (%d vs %d bytes)\n" jobs
+            (String.length output) (String.length base_output);
+        Printf.sprintf
+          "    { \"jobs\": %d, \"wall_s\": %.4f, \"speedup_vs_jobs1\": %.3f, \"output_bytes\": %d, \
+           \"output_identical_to_jobs1\": %b }"
+          jobs wall (base_wall /. wall) (String.length output) identical)
+      runs
+  in
+  let all_identical =
+    List.for_all (fun (_, _, output) -> String.equal output base_output) runs
+  in
+  Printf.printf "\noutputs byte-identical across jobs settings: %b\n" all_identical;
+  let json =
+    Printf.sprintf
+      "{\n  \"bench\": \"par-scaling\",\n  \"cores\": %d,\n  \"experiments\": [%s],\n  \"runs\": [\n%s\n  \
+       ],\n  \"outputs_identical\": %b\n}\n"
+      cores
+      (String.concat ", " (List.map (fun (id, _) -> "\"" ^ json_escape id ^ "\"") experiments))
+      (String.concat ",\n" rows) all_identical
+  in
+  let oc = open_out "BENCH_par.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_par.json\n%!";
+  if not all_identical then exit 1
+
+(* ----------------------------- driver ----------------------------- *)
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  if List.mem "--fit-timing" args then fit_timing ()
+  (* --jobs N / -j N applies to every mode; consumed before dispatch. *)
+  let rec extract_jobs acc = function
+    | [] -> (None, List.rev acc)
+    | ("--jobs" | "-j") :: value :: rest -> (
+        match int_of_string_opt value with
+        | Some n when n >= 1 -> (Some n, List.rev_append acc rest)
+        | _ ->
+            prerr_endline "bench: --jobs expects an integer >= 1";
+            exit 1)
+    | [ ("--jobs" | "-j") ] ->
+        prerr_endline "bench: --jobs expects an integer >= 1";
+        exit 1
+    | a :: rest -> extract_jobs (a :: acc) rest
+  in
+  let jobs, args = extract_jobs [] args in
+  (match jobs with Some n -> Estima_par.Fanout.set_jobs (Some n) | None -> ());
+  if List.mem "--list" args then
+    List.iter (fun (id, _) -> print_endline id) Estima_repro.All.experiments
+  else if List.mem "--fit-timing" args then fit_timing ()
+  else if List.mem "--par-scaling" args then
+    par_scaling (List.filter (fun a -> a <> "--par-scaling") args)
   else begin
-  let micro = not (List.mem "--no-micro" args) in
-  let ids = List.filter (fun a -> a <> "--no-micro") args in
-  let t0 = Unix.gettimeofday () in
-  (match ids with
-  | [] -> Estima_repro.All.run_all ()
-  | ids ->
-      List.iter
-        (fun id ->
-          match Estima_repro.All.run_one id with
-          | Ok () -> ()
-          | Error msg ->
-              prerr_endline msg;
-              exit 1)
-        ids);
-  let hits, misses = Estima_repro.Lab.cache_stats () in
-  Printf.printf "\n[reproduction complete in %.0f s; measurement cache: %d hits, %d sweeps]\n%!"
-    (Unix.gettimeofday () -. t0) hits misses;
-  if micro then microbenchmarks ()
+    let micro = not (List.mem "--no-micro" args) in
+    let ids = List.filter (fun a -> a <> "--no-micro") args in
+    let t0 = Unix.gettimeofday () in
+    (match ids with
+    | [] -> Estima_repro.All.run_all ()
+    | ids -> Estima_repro.All.run_many (resolve_experiments ids));
+    let hits, misses = Estima_repro.Lab.cache_stats () in
+    Printf.printf "\n[reproduction complete in %.0f s; measurement cache: %d hits, %d sweeps]\n%!"
+      (Unix.gettimeofday () -. t0) hits misses;
+    if micro then microbenchmarks ()
   end

@@ -94,6 +94,22 @@ let print_trace trace recorder =
 let reps_arg =
   Arg.(value & opt int 5 & info [ "repetitions" ] ~docv:"N" ~doc:"Averaged runs per measured point.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Run the fit search (and, for $(b,repro), the experiments) on $(docv) domains.            Defaults to $(b,ESTIMA_JOBS) or 1.  Results are byte-identical to a            sequential run regardless of $(docv).")
+
+(* --jobs beats ESTIMA_JOBS; without it the env default stays in force. *)
+let apply_jobs = function
+  | None -> ()
+  | Some n when n >= 1 -> Estima_par.Fanout.set_jobs (Some n)
+  | Some _ ->
+      prerr_endline "estima_cli: --jobs must be >= 1";
+      exit 1
+
 let restrict machine = function
   | None -> machine
   | Some sockets -> Machines.restrict_sockets machine ~sockets
@@ -185,7 +201,8 @@ let collect_cmd =
 (* --------------------------- predict ------------------------------ *)
 
 let predict_cmd =
-  let run entry measure_machine sockets window target software seed reps trace =
+  let run entry measure_machine sockets window target software seed reps trace jobs =
+    apply_jobs jobs;
     let measure_machine = restrict measure_machine sockets in
     let max_threads = Option.value ~default:(Topology.cores measure_machine) window in
     let series = collect_series ~entry ~machine:measure_machine ~max_threads ~seed ~repetitions:reps in
@@ -221,12 +238,13 @@ let predict_cmd =
           [ "machine"; "m" ] "Measurements machine."
       $ sockets_arg $ window_arg
       $ machine_arg ~default:Machines.opteron48 [ "target"; "t" ] "Target machine."
-      $ software_arg $ seed_arg $ reps_arg $ trace_arg)
+      $ software_arg $ seed_arg $ reps_arg $ trace_arg $ jobs_arg)
 
 (* --------------------------- compare ------------------------------ *)
 
 let compare_cmd =
-  let run entry target software seed reps =
+  let run entry target software seed reps jobs =
+    apply_jobs jobs;
     ignore software;
     let setup =
       {
@@ -264,12 +282,13 @@ let compare_cmd =
     Term.(
       const run $ workload_arg
       $ machine_arg ~default:Machines.opteron48 [ "target"; "t" ] "Machine (measure 1 socket, predict all)."
-      $ software_arg $ seed_arg $ reps_arg)
+      $ software_arg $ seed_arg $ reps_arg $ jobs_arg)
 
 (* -------------------------- bottleneck ---------------------------- *)
 
 let bottleneck_cmd =
-  let run entry target sockets window seed reps trace =
+  let run entry target sockets window seed reps trace jobs =
+    apply_jobs jobs;
     let measure_machine = restrict target (Some (Option.value ~default:1 sockets)) in
     let max_threads = Option.value ~default:(Topology.cores measure_machine) window in
     let series = collect_series ~entry ~machine:measure_machine ~max_threads ~seed ~repetitions:reps in
@@ -287,26 +306,35 @@ let bottleneck_cmd =
     Term.(
       const run $ workload_arg
       $ machine_arg ~default:Machines.opteron48 [ "target"; "t" ] "Target machine."
-      $ sockets_arg $ window_arg $ seed_arg $ reps_arg $ trace_arg)
+      $ sockets_arg $ window_arg $ seed_arg $ reps_arg $ trace_arg $ jobs_arg)
 
 (* ---------------------------- repro ------------------------------- *)
 
 let repro_cmd =
   let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (all if omitted).") in
-  let run = function
+  let run ids jobs =
+    apply_jobs jobs;
+    match ids with
     | [] -> Estima_repro.All.run_all ()
     | ids ->
-        List.iter
-          (fun id ->
-            match Estima_repro.All.run_one id with
-            | Ok () -> ()
-            | Error msg ->
-                prerr_endline msg;
-                exit 1)
-          ids
+        (* Resolve every id before running anything, then fan the subset
+           out like run_all does. *)
+        let entries =
+          List.map
+            (fun id ->
+              match Estima_repro.All.find id with
+              | Some run -> (id, run)
+              | None ->
+                  prerr_endline
+                    (Printf.sprintf "unknown experiment %S; valid ids: %s" id
+                       (String.concat ", " (List.map fst Estima_repro.All.experiments)));
+                  exit 1)
+            ids
+        in
+        Estima_repro.All.run_many entries
   in
   Cmd.v (Cmd.info "repro" ~doc:"Run paper experiments (see `estima_cli list` for ids).")
-    Term.(const run $ ids)
+    Term.(const run $ ids $ jobs_arg)
 
 let () =
   let doc = "extrapolating scalability of in-memory applications" in

@@ -232,34 +232,50 @@ let approximate ?(config = default_config) ?(subject = "series") ~xs ~ys ~target
         Some (Trace.Slope, "launch slope at the window contradicts the measured tail trend")
       else None
     in
-    let gate_and_consider ~prefix ~checkpoint_rmse fitted =
+    (* Gate a fitted candidate (emitting the rejection trace itself) and
+       score it; [Some choice] means it survived and goes to [consider].
+       Runs inside the parallel fan-out tasks: everything here depends
+       only on the candidate, never on the incumbent. *)
+    let prepare ~prefix ~checkpoint_rmse fitted =
       match first_failed_gate fitted with
       | Some (gate, detail) ->
           trace_candidate ~subject ~kernel:fitted.Fit.kernel_name ~prefix
-            ~verdict:(Trace.Rejected gate) ~score:Float.nan detail
+            ~verdict:(Trace.Rejected gate) ~score:Float.nan detail;
+          None
       | None -> (
           match checkpoint_rmse fitted with
-          | Some rmse -> consider { fitted; prefix; checkpoint_rmse = rmse }
+          | Some rmse -> Some { fitted; prefix; checkpoint_rmse = rmse }
           | None ->
               trace_candidate ~subject ~kernel:fitted.Fit.kernel_name ~prefix
                 ~verdict:(Trace.Rejected Trace.Non_finite) ~score:Float.nan
-                "non-finite checkpoint predictions")
+                "non-finite checkpoint predictions";
+              None)
     in
-    for prefix = config.min_prefix to n do
-      List.iter
-        (fun kernel ->
-          match fit_prefix kernel ~xs ~ys ~prefix with
-          | None ->
-              trace_candidate ~subject ~kernel:kernel.Kernel.name ~prefix
-                ~verdict:(Trace.Rejected Trace.Fit_failed) ~score:Float.nan
-                "kernel could not be fitted on this prefix"
-          | Some fitted ->
-              gate_and_consider ~prefix fitted ~checkpoint_rmse:(fun fitted ->
-                  let predicted = Array.map fitted.Fit.eval checkpoint_xs in
-                  if Vec.all_finite predicted then Some (Stats.rmse predicted checkpoint_ys)
-                  else None))
-        Catalogue.all
-    done;
+    (* The candidate search is embarrassingly parallel: each (prefix,
+       kernel) pair fits and gates independently, and only [consider] —
+       which compares against the running best — runs sequentially, in
+       submission order, in this domain.  That split keeps the winner and
+       the trace byte-identical to the sequential search. *)
+    let candidates =
+      Array.of_list
+        (List.concat_map
+           (fun prefix -> List.map (fun kernel -> (prefix, kernel)) Catalogue.all)
+           (List.init (n - config.min_prefix + 1) (fun i -> config.min_prefix + i)))
+    in
+    Estima_par.Fanout.map_consume candidates
+      ~f:(fun (prefix, kernel) ->
+        match fit_prefix kernel ~xs ~ys ~prefix with
+        | None ->
+            trace_candidate ~subject ~kernel:kernel.Kernel.name ~prefix
+              ~verdict:(Trace.Rejected Trace.Fit_failed) ~score:Float.nan
+              "kernel could not be fitted on this prefix";
+            None
+        | Some fitted ->
+            prepare ~prefix fitted ~checkpoint_rmse:(fun fitted ->
+                let predicted = Array.map fitted.Fit.eval checkpoint_xs in
+                if Vec.all_finite predicted then Some (Stats.rmse predicted checkpoint_ys)
+                else None))
+      ~consume:(function Some choice -> consider choice | None -> ());
     (match !best with
     | Some _ -> ()
     | None ->
@@ -268,17 +284,17 @@ let approximate ?(config = default_config) ?(subject = "series") ~xs ~ys ~target
            most of the signal; refit each kernel on the whole series,
            scored by its full-series RMSE, before resorting to polynomial
            fallbacks. *)
-        List.iter
-          (fun kernel ->
+        Estima_par.Fanout.map_consume (Array.of_list Catalogue.all)
+          ~f:(fun kernel ->
             match Fit.fit kernel ~xs ~ys with
             | None ->
                 trace_candidate ~subject ~kernel:kernel.Kernel.name ~prefix:m
                   ~verdict:(Trace.Rejected Trace.Fit_failed) ~score:Float.nan
-                  "kernel could not be refitted on the full series"
+                  "kernel could not be refitted on the full series";
+                None
             | Some fitted ->
-                gate_and_consider ~prefix:m fitted ~checkpoint_rmse:(fun fitted ->
-                    Some fitted.Fit.fit_rmse))
-          Catalogue.all);
+                prepare ~prefix:m fitted ~checkpoint_rmse:(fun fitted -> Some fitted.Fit.fit_rmse))
+          ~consume:(function Some choice -> consider choice | None -> ()));
     match !best with
     | Some (choice, _) -> Some choice
     | None ->

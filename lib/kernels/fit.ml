@@ -66,21 +66,27 @@ let fit (kernel : Kernel.t) ~xs ~ys =
     else begin
       let objective = Kernel.residual_objective kernel ~xs ~ys:ys_norm in
       let best = ref None in
+      (* Starts are ranked in submission order: a later start must beat
+         the incumbent strictly, so the parallel fan-out (which folds the
+         results in that same order) picks the exact same optimum as the
+         sequential loop. *)
       let consider params cost converged =
         match !best with
         | Some (_, best_cost, _) when best_cost <= cost -> ()
         | _ -> best := Some (params, cost, converged)
       in
-      List.iter
-        (fun init ->
+      Estima_par.Fanout.map_consume (Array.of_list guesses)
+        ~f:(fun init ->
           let r0 = objective.Lm.residual init in
           if Vec.all_finite r0 then begin
             match Lm.minimize objective ~init with
-            | result ->
-                consider result.Lm.params result.Lm.cost (result.Lm.outcome = Lm.Converged)
-            | exception Invalid_argument _ -> ()
-          end)
-        guesses;
+            | result -> Some (result.Lm.params, result.Lm.cost, result.Lm.outcome = Lm.Converged)
+            | exception Invalid_argument _ -> None
+          end
+          else None)
+        ~consume:(function
+          | Some (params, cost, converged) -> consider params cost converged
+          | None -> ());
       match !best with
       | None ->
           trace_attempt kernel ~npoints Trace.Diverged;

@@ -70,53 +70,109 @@ let fit_stage = "kernel-fit"
 
 let factor_subject = "scaling-factor"
 
-(* Global state: one process-wide sink.  The pipeline is sequential, so a
-   plain ref (no locking) is sufficient; the ref read is the entirety of
-   the disabled-tracing cost. *)
-let sink : sink option ref = ref None
-
-let enabled () = !sink <> None
-
-let set_sink s = sink := s
-
-let current_sink () = !sink
-
-let seq = ref 0
-
-(* Span stack, innermost first (reversed on export). *)
-let spans : string list ref = ref []
-
-let span_path () = List.rev !spans
-
 let default_clock () = Int64.of_float (Sys.time () *. 1e9)
 
-let clock = ref default_clock
+(* All trace state is domain-local.  The pipeline used to be strictly
+   sequential and kept this in plain refs; with the domain pool
+   (Estima_par) fitting candidates concurrently, each worker domain now
+   carries its own sink, sequence counter and span stack.  A fresh domain
+   starts with tracing disabled; the parallel fan-out installs a tape sink
+   per task and replays the tapes into the submitting domain's sink in
+   submission order, which is what keeps traces byte-identical to the
+   sequential pipeline.  The disabled-tracing cost is one DLS load and a
+   branch. *)
+type state = {
+  mutable sink : sink option;
+  mutable seq : int;
+  mutable spans : string list;  (* innermost first (reversed on export) *)
+  mutable clock : unit -> int64;
+}
 
-let set_clock f = clock := f
+let state_key : state Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { sink = None; seq = 0; spans = []; clock = default_clock })
+
+let state () = Domain.DLS.get state_key
+
+let enabled () = (state ()).sink <> None
+
+(* Installing an outermost sink restarts the sequence numbering: every
+   top-level recording session sees events 1..n, so recording the same
+   computation twice — or once sequentially and once on the domain pool —
+   yields byte-identical traces.  Swapping sinks mid-session (e.g. the
+   recorder teeing into an outer sink) keeps the counter running. *)
+let set_sink s =
+  let st = state () in
+  (match (st.sink, s) with None, Some _ -> st.seq <- 0 | _ -> ());
+  st.sink <- s
+
+let current_sink () = (state ()).sink
+
+let span_path () = List.rev (state ()).spans
+
+let set_clock f = (state ()).clock <- f
+
+let current_clock () = (state ()).clock
 
 let emit payload =
-  match !sink with
+  let st = state () in
+  match st.sink with
   | None -> ()
   | Some s ->
-      incr seq;
-      s.on_event { seq = !seq; at_ns = !clock (); span = span_path (); payload }
+      st.seq <- st.seq + 1;
+      s.on_event { seq = st.seq; at_ns = st.clock (); span = span_path (); payload }
+
+let emit_replayed ~at_ns ~span payload =
+  let st = state () in
+  match st.sink with
+  | None -> ()
+  | Some s ->
+      st.seq <- st.seq + 1;
+      s.on_event { seq = st.seq; at_ns; span; payload }
+
+let replay_span ~path ~elapsed_ns =
+  match (state ()).sink with None -> () | Some s -> s.on_span ~path ~elapsed_ns
 
 let incr ?(by = 1) name =
-  match !sink with None -> () | Some s -> s.on_counter ~name ~by
+  match (state ()).sink with None -> () | Some s -> s.on_counter ~name ~by
+
+let with_fresh_state ~clock f =
+  let st = state () in
+  let saved_sink = st.sink
+  and saved_seq = st.seq
+  and saved_spans = st.spans
+  and saved_clock = st.clock in
+  st.sink <- None;
+  st.seq <- 0;
+  st.spans <- [];
+  st.clock <- clock;
+  let restore () =
+    st.sink <- saved_sink;
+    st.seq <- saved_seq;
+    st.spans <- saved_spans;
+    st.clock <- saved_clock
+  in
+  match f () with
+  | v ->
+      restore ();
+      v
+  | exception e ->
+      restore ();
+      raise e
 
 let with_span name f =
-  match !sink with
+  let st = state () in
+  match st.sink with
   | None -> f ()
   | Some _ ->
-      spans := name :: !spans;
+      st.spans <- name :: st.spans;
       let path = span_path () in
-      let t0 = !clock () in
+      let t0 = st.clock () in
       let close () =
-        let elapsed_ns = Int64.sub (!clock ()) t0 in
-        (match !spans with _ :: rest -> spans := rest | [] -> ());
+        let elapsed_ns = Int64.sub (st.clock ()) t0 in
+        (match st.spans with _ :: rest -> st.spans <- rest | [] -> ());
         (* The sink may have changed (or vanished) while the span was
            open; report to whoever is installed at close time. *)
-        match !sink with None -> () | Some s -> s.on_span ~path ~elapsed_ns
+        match st.sink with None -> () | Some s -> s.on_span ~path ~elapsed_ns
       in
       (match f () with
       | v ->

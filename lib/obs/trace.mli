@@ -4,13 +4,22 @@
     growth cap, slope consistency, checkpoint-RMSE tie-breaks, the
     correlation band of the scaling factor — and a prediction that cannot
     explain which candidate survived which gate is impossible to audit.
-    This module defines the event vocabulary and a global sink through
-    which every stage of the pipeline reports its decisions.
+    This module defines the event vocabulary and a domain-local sink
+    through which every stage of the pipeline reports its decisions.
+
+    All trace state (sink, sequence counter, span stack, clock) is
+    domain-local: a freshly spawned domain starts with tracing disabled
+    and an empty span stack.  The parallel fan-out ({!Estima_par.Fanout})
+    exploits this by recording each task's callbacks on a private tape in
+    the worker and replaying the tapes in submission order in the
+    submitting domain (via {!emit_replayed} and {!replay_span}), so a
+    traced parallel run produces the byte-identical event stream of the
+    sequential pipeline.
 
     Instrumentation is zero-cost when no sink is installed: every
-    instrumentation site guards on {!enabled}, which is a single mutable
-    read, so benchmark numbers are unaffected by the mere presence of the
-    tracing hooks. *)
+    instrumentation site guards on {!enabled}, which is a single
+    domain-local read, so benchmark numbers are unaffected by the mere
+    presence of the tracing hooks. *)
 
 (** Why a (kernel, prefix) candidate was rejected. *)
 type gate =
@@ -65,7 +74,7 @@ type payload =
   | Note of { stage : string; subject : string; text : string }
 
 type event = {
-  seq : int;  (** Monotonically increasing per-process sequence number. *)
+  seq : int;  (** Monotonically increasing per-domain sequence number. *)
   at_ns : int64;  (** Clock reading when the event was emitted. *)
   span : string list;  (** Enclosing span path, outermost first. *)
   payload : payload;
@@ -93,16 +102,27 @@ val factor_subject : string
 (** ["scaling-factor"]: the single subject of the factor stage. *)
 
 val enabled : unit -> bool
-(** [true] iff a sink is installed.  Instrumentation sites must guard on
-    this before building payloads, so that disabled tracing costs one load
-    and one branch. *)
+(** [true] iff a sink is installed in the current domain.  Instrumentation
+    sites must guard on this before building payloads, so that disabled
+    tracing costs one load and one branch. *)
 
 val set_sink : sink option -> unit
+(** Install (or remove) the current domain's sink. *)
 
 val current_sink : unit -> sink option
 
 val emit : payload -> unit
 (** Forwards to the installed sink; a no-op without one. *)
+
+val emit_replayed : at_ns:int64 -> span:string list -> payload -> unit
+(** Re-emit an event captured in a worker domain: the payload, timestamp
+    and span path are taken verbatim, but the sequence number is assigned
+    from the current domain's counter — exactly what [emit] would have
+    produced had the task run inline.  A no-op without a sink. *)
+
+val replay_span : path:string list -> elapsed_ns:int64 -> unit
+(** Forward a span closure captured in a worker domain to the current
+    domain's sink.  A no-op without a sink. *)
 
 val incr : ?by:int -> string -> unit
 (** Bump a named per-run counter; a no-op without a sink. *)
@@ -117,6 +137,24 @@ val span_path : unit -> string list
 (** The current span path, outermost first. *)
 
 val set_clock : (unit -> int64) -> unit
-(** Replace the clock used for [at_ns] and span durations.  The default is
-    derived from [Sys.time] (processor time in nanoseconds): monotonic,
-    dependency-free, and precise enough for per-stage fit-search timing. *)
+(** Replace the current domain's clock used for [at_ns] and span
+    durations.  The default is derived from [Sys.time] (processor time in
+    nanoseconds): monotonic, dependency-free, and precise enough for
+    per-stage fit-search timing.  Deterministic tests install a constant
+    clock so that traces compare byte-for-byte across jobs settings. *)
+
+val current_clock : unit -> unit -> int64
+(** The current domain's clock, so a parallel fan-out can hand it to its
+    worker domains (a fresh domain starts on the default clock). *)
+
+val default_clock : unit -> int64
+(** The [Sys.time]-derived default, for restoring after [set_clock]. *)
+
+val with_fresh_state : clock:(unit -> int64) -> (unit -> 'a) -> 'a
+(** [with_fresh_state ~clock f] runs [f] under a pristine trace state —
+    no sink, empty span stack, sequence counter at zero, the given clock
+    — and restores the previous state afterwards (also on raise).  The
+    parallel fan-out wraps every task in this so a task observes the
+    exact same trace environment whether it lands on a worker domain
+    (whose state is already fresh) or runs on the submitting domain
+    itself while it drives the pool. *)

@@ -1,0 +1,126 @@
+module Trace = Estima_obs.Trace
+
+(* ------------------------------ jobs knob ------------------------------ *)
+
+let env_jobs () =
+  match Sys.getenv_opt "ESTIMA_JOBS" with
+  | None | Some "" -> 1
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with Some n when n >= 1 -> n | _ -> 1)
+
+(* Main-domain state: the knob and the shared pool.  Workers never touch
+   either (a nested fan-out runs inline before reaching them). *)
+let override : int option ref = ref None
+
+let jobs () = match !override with Some n -> n | None -> env_jobs ()
+
+let set_jobs = function
+  | Some n when n < 1 -> invalid_arg "Fanout.set_jobs: jobs must be >= 1"
+  | o -> override := o
+
+let shared_pool : Pool.t option ref = ref None
+
+let at_exit_registered = ref false
+
+let shutdown () =
+  match !shared_pool with
+  | None -> ()
+  | Some p ->
+      shared_pool := None;
+      Pool.shutdown p
+
+let pool () =
+  match !shared_pool with
+  | Some p when Pool.size p = jobs () -> p
+  | stale ->
+      (match stale with Some p -> Pool.shutdown p | None -> ());
+      let p = Pool.create ~jobs:(jobs ()) in
+      shared_pool := Some p;
+      if not !at_exit_registered then begin
+        at_exit_registered := true;
+        Stdlib.at_exit shutdown
+      end;
+      p
+
+(* ------------------------- trace tape capture ------------------------- *)
+
+(* One recorded sink callback.  A task's tape is replayed verbatim (and in
+   order) into the submitting domain's sink, so that a traced parallel
+   run emits the exact event stream of the sequential pipeline. *)
+type tape_entry =
+  | Tape_event of Trace.event
+  | Tape_span of { path : string list; elapsed_ns : int64 }
+  | Tape_counter of { name : string; by : int }
+
+(* Runs [f] under a tape sink on a pristine trace state (no inherited
+   span stack or sink), using the submitting domain's clock.  The fresh
+   state matters even though worker domains start fresh anyway: the
+   submitting domain also executes tasks itself while driving the pool,
+   and must not leak — or lose — its own sink and span stack doing so.
+   Never raises: failures are part of the returned outcome so the caller
+   can replay earlier tapes first. *)
+let capture ~clock f =
+  Trace.with_fresh_state ~clock (fun () ->
+      let entries = ref [] in
+      Trace.set_sink
+        (Some
+           {
+             Trace.on_event = (fun e -> entries := Tape_event e :: !entries);
+             on_span =
+               (fun ~path ~elapsed_ns -> entries := Tape_span { path; elapsed_ns } :: !entries);
+             on_counter = (fun ~name ~by -> entries := Tape_counter { name; by } :: !entries);
+           });
+      let outcome =
+        match f () with
+        | v -> Ok v
+        | exception e -> Error (e, Printexc.get_raw_backtrace ())
+      in
+      (outcome, List.rev !entries))
+
+let replay ~prefix entries =
+  List.iter
+    (fun entry ->
+      match entry with
+      | Tape_event e ->
+          Trace.emit_replayed ~at_ns:e.Trace.at_ns ~span:(prefix @ e.Trace.span) e.Trace.payload
+      | Tape_span { path; elapsed_ns } -> Trace.replay_span ~path:(prefix @ path) ~elapsed_ns
+      | Tape_counter { name; by } -> Trace.incr ~by name)
+    entries
+
+(* ------------------------------ fan-out ------------------------------- *)
+
+let sequential xs ~f ~consume = Array.iter (fun x -> consume (f x)) xs
+
+let map_consume xs ~f ~consume =
+  if jobs () <= 1 || Pool.in_task () || Array.length xs <= 1 then sequential xs ~f ~consume
+  else begin
+    let traced = Trace.enabled () in
+    let prefix = Trace.span_path () in
+    let clock = Trace.current_clock () in
+    let task x =
+      if traced then capture ~clock (fun () -> f x)
+      else
+        ( (match f x with v -> Ok v | exception e -> Error (e, Printexc.get_raw_backtrace ())),
+          [] )
+    in
+    let results = Pool.map (pool ()) xs ~f:task in
+    Array.iter
+      (fun (outcome, tape) ->
+        replay ~prefix tape;
+        match outcome with
+        | Ok v -> consume v
+        | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+      results
+  end
+
+let map xs ~f =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    let next = ref 0 in
+    map_consume xs ~f ~consume:(fun v ->
+        out.(!next) <- Some v;
+        incr next);
+    Array.map Option.get out
+  end

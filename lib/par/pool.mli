@@ -1,0 +1,47 @@
+(** A small fixed-size domain pool for the fit-search fan-outs.
+
+    The pool owns [jobs - 1] worker domains (the calling domain is the
+    remaining runner: it executes queued tasks too while waiting, so
+    [jobs] tasks make progress at once and a [jobs = 1] pool degrades to
+    plain sequential execution with no domains spawned at all).  Domains
+    are spawned once at {!create} and reused across {!map} calls until
+    {!shutdown}.
+
+    Built on [Domain.spawn] only — no dependency beyond the stdlib. *)
+
+type t
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [jobs - 1] worker domains ([jobs >= 1];
+    [Invalid_argument] otherwise). *)
+
+val size : t -> int
+(** The [jobs] the pool was created with. *)
+
+val map : t -> 'a array -> f:('a -> 'b) -> 'b array
+(** [map t xs ~f] applies [f] to every element, tasks running on up to
+    [size t] domains, and returns the results in submission order
+    ([result.(i)] corresponds to [xs.(i)] regardless of completion
+    order).  If one or more tasks raise, every task still runs to
+    completion and the exception of the {e lowest-index} failing task is
+    re-raised here with its backtrace — the pool stays usable.  An empty
+    input returns [[||]] without touching the queue.
+
+    Calling [map] from inside a task of any pool raises [Failure] with a
+    descriptive message: the fixed-size pool cannot nest without risking
+    deadlock.  Use {!Fanout.map}, which detects nesting and degrades to
+    sequential execution instead. *)
+
+val run :
+  t -> 'a array -> f:('a -> 'b) -> ('b, exn * Printexc.raw_backtrace) result array
+(** Like {!map} but never raises on task failure: each slot carries its
+    task's outcome.  This is the primitive {!Fanout} builds on so that
+    trace tapes of tasks preceding a failure can still be replayed. *)
+
+val in_task : unit -> bool
+(** [true] while the current domain is executing a pool task (covers both
+    worker domains and the calling domain running tasks inline). *)
+
+val shutdown : t -> unit
+(** Signal the workers to exit and join them.  Idempotent.  [map] after
+    [shutdown] raises [Failure]. *)

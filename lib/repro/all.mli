@@ -3,7 +3,18 @@
 val experiments : (string * (unit -> unit)) list
 (** [(id, run)] for each table/figure plus the ablations. *)
 
+val find : string -> (unit -> unit) option
+(** Case-insensitive lookup of an experiment by id. *)
+
+val run_many : (string * (unit -> unit)) list -> unit
+(** Run the given experiments in order.  With
+    {!Estima_par.Fanout.jobs}[ () > 1] they run concurrently on the
+    domain pool, each one's output captured and printed in submission
+    order — stdout is byte-identical to the sequential run.  With
+    jobs = 1, output streams as each experiment runs. *)
+
 val run_all : unit -> unit
+(** [run_many experiments]. *)
 
 val run_one : string -> (unit, string) result
 (** Run a single experiment by id (e.g. "T4", "F8"); [Error] lists the

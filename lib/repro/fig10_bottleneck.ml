@@ -59,12 +59,12 @@ let run () =
   List.iter
     (fun c ->
       Render.subheading c.name;
-      Format.printf "%a@." Bottleneck.pp c.analysis;
+      Render.print_string (Format.asprintf "%a@." Bottleneck.pp c.analysis);
       (match (c.dominant_software, c.hint) with
-      | Some cat, Some hint -> Printf.printf "software bottleneck: %s\n  -> %s\n" cat hint
-      | Some cat, None -> Printf.printf "software bottleneck: %s\n" cat
-      | None, _ -> Printf.printf "no software bottleneck surfaced\n");
-      Printf.printf "[F11] fix '%s': %s faster at 48 cores (best %s)\n%!" c.fixed_name
+      | Some cat, Some hint -> Render.printf "software bottleneck: %s\n  -> %s\n" cat hint
+      | Some cat, None -> Render.printf "software bottleneck: %s\n" cat
+      | None, _ -> Render.printf "no software bottleneck surfaced\n");
+      Render.printf "[F11] fix '%s': %s faster at 48 cores (best %s)\n%!" c.fixed_name
         (Render.pct c.improvement_at_48)
         (Render.pct c.best_improvement))
     (compute ())

@@ -65,9 +65,9 @@ let run () =
          (fun row ->
            [ row.name; Render.pct row.error_without; Render.pct row.error_with; Render.pct row.improvement ])
          r.rows);
-  Printf.printf "\naverage improvement from software stalls: %s\n" (Render.pct r.average_improvement);
+  Render.printf "\naverage improvement from software stalls: %s\n" (Render.pct r.average_improvement);
   Render.heading "[F14] Figure 14 - streamcluster: hardware-only stalls miss the sync bottleneck";
   let d = r.streamcluster in
   Render.series ~title:"streamcluster on the full Opteron" ~grid:d.grid
     ~columns:[ ("time (s)", d.times); ("spc hw-only", d.spc_hw); ("spc hw+sw", d.spc_hw_sw) ];
-  Printf.printf "correlation with time: hw-only %.2f vs hw+sw %.2f\n%!" d.corr_hw_only d.corr_hw_sw
+  Render.printf "correlation with time: hw-only %.2f vs hw+sw %.2f\n%!" d.corr_hw_only d.corr_hw_sw

@@ -52,9 +52,9 @@ let run () =
         ("from 24 cores", r.from_24.predicted);
         ("measured", r.measured);
       ];
-  Printf.printf "\nfrom 12 cores: max error %s (%s)\nfrom 24 cores: max error %s (%s)\n%!"
+  Render.printf "\nfrom 12 cores: max error %s (%s)\nfrom 24 cores: max error %s (%s)\n%!"
     (Render.pct r.from_12.max_error)
     (Render.verdict r.from_12.verdict)
     (Render.pct r.from_24.max_error)
     (Render.verdict r.from_24.verdict);
-  Printf.printf "wider window improves the prediction: %b\n%!" (improved r)
+  Render.printf "wider window improves the prediction: %b\n%!" (improved r)

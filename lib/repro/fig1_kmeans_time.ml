@@ -36,7 +36,7 @@ let run () =
   let r = compute () in
   Render.series ~title:"kmeans execution time (s)" ~grid:r.grid
     ~columns:[ ("time-extrapolation", r.baseline_times); ("measured", r.measured_times) ];
-  Printf.printf "\ntime extrapolation says: %s; the machine says: %s -> %s\n%!"
+  Render.printf "\ntime extrapolation says: %s; the machine says: %s -> %s\n%!"
     (Render.verdict r.baseline_verdict)
     (Render.verdict r.measured_verdict)
     (if mispredicts r then "MISPREDICTION (the figure's point)" else "agreement")

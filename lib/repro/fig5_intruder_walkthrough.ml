@@ -75,11 +75,11 @@ let run () =
         ("predicted time (s)", p.Predictor.predicted_times);
         ("measured time (s)", r.truth_times);
       ];
-  Printf.printf "\n(h) scaling factor kernel: %s (correlation %.3f)\n" (Predictor.factor_kernel p)
+  Render.printf "\n(h) scaling factor kernel: %s (correlation %.3f)\n" (Predictor.factor_kernel p)
     p.Predictor.factor.Scaling_factor.correlation;
-  Printf.printf "stalls-per-core minimum inside/near window with later rise: %b\n"
+  Render.printf "stalls-per-core minimum inside/near window with later rise: %b\n"
     r.per_core_minimum_inside_window;
-  Printf.printf "prediction: %s | measured: %s | max error %s\n%!"
+  Render.printf "prediction: %s | measured: %s | max error %s\n%!"
     (Render.verdict r.error.Error.predicted_verdict)
     (Render.verdict r.error.Error.measured_verdict)
     (Render.pct r.error.Error.max_error)

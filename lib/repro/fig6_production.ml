@@ -54,7 +54,7 @@ let run () =
              r.measure_threads)
         ~grid:r.grid
         ~columns:[ ("predicted (s)", r.predicted); ("measured (s)", r.measured) ];
-      Printf.printf "max error %s | prediction: %s | measured: %s | verdict agreement: %b\n%!"
+      Render.printf "max error %s | prediction: %s | measured: %s | verdict agreement: %b\n%!"
         (Render.pct r.error.Error.max_error)
         (Render.verdict r.error.Error.predicted_verdict)
         (Render.verdict r.error.Error.measured_verdict)

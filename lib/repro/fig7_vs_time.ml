@@ -65,4 +65,4 @@ let run () =
              (if r.baseline_agrees then "correct" else "WRONG");
            ])
          rows);
-  Printf.printf "\nESTIMA wins on %d of %d divergent workloads\n%!" (estima_wins rows) (List.length rows)
+  Render.printf "\nESTIMA wins on %d of %d divergent workloads\n%!" (estima_wins rows) (List.length rows)

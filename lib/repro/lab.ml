@@ -15,16 +15,39 @@ let repetitions = 5
    set (to anything but "" or "0"), every prediction made through
    [predict] runs under a recorder and prints the fit-selection audit
    table, so each reproduced figure/table explains its kernel choices. *)
-let trace_enabled =
-  lazy (match Sys.getenv_opt "ESTIMA_TRACE" with None | Some "" | Some "0" -> false | Some _ -> true)
+(* Not a [lazy]: forcing a lazy concurrently from several domains raises
+   [RacyLazy], and [predict] runs on the domain pool when the repro
+   harness fans out. *)
+let trace_enabled () =
+  match Sys.getenv_opt "ESTIMA_TRACE" with None | Some "" | Some "0" -> false | Some _ -> true
 
 let truth_seed_offset = 7919
 
-let cache : (string, Series.t) Hashtbl.t = Hashtbl.create 64
+(* The measurement cache is shared across domains (a parallel run_all has
+   several experiments collecting concurrently), so entries are
+   compute-once promises guarded by a mutex: the first requester of a key
+   installs a [Pending] slot and collects outside the lock; concurrent
+   requesters of the same key block on its condition instead of
+   recomputing.  Waiting on a pending entry counts as a hit — the work is
+   shared — which keeps [cache_stats] deterministic: misses = distinct
+   keys, regardless of jobs. *)
+type slot = Pending of Condition.t | Ready of Series.t
+
+let cache : (string, slot) Hashtbl.t = Hashtbl.create 64
+
+let cache_mutex = Mutex.create ()
 
 let hits = ref 0
 
 let misses = ref 0
+
+let reset_cache () =
+  Mutex.protect cache_mutex (fun () ->
+      if Hashtbl.fold (fun _ slot acc -> acc || match slot with Pending _ -> true | Ready _ -> false) cache false
+      then invalid_arg "Lab.reset_cache: collection in flight";
+      Hashtbl.reset cache;
+      hits := 0;
+      misses := 0)
 
 let cache_key ~seed ~entry ~machine ~max_threads =
   Printf.sprintf "%s|%s|%d|%d|%s" machine.Topology.name entry.Suite.spec.Estima_sim.Spec.name
@@ -33,21 +56,53 @@ let cache_key ~seed ~entry ~machine ~max_threads =
 
 let collect_cached ~seed ~entry ~machine ~max_threads =
   let key = cache_key ~seed ~entry ~machine ~max_threads in
-  match Hashtbl.find_opt cache key with
-  | Some series ->
-      incr hits;
-      series
-  | None ->
-      incr misses;
-      let series =
-        Collector.collect
-          ~options:{ Collector.default_options with Collector.seed; plugins = entry.Suite.plugins; repetitions }
-          ~machine ~spec:entry.Suite.spec
-          ~thread_counts:(Collector.default_thread_counts ~max:max_threads)
-          ()
+  let claim () =
+    Mutex.protect cache_mutex (fun () ->
+        let rec wait () =
+          match Hashtbl.find_opt cache key with
+          | Some (Ready series) ->
+              incr hits;
+              Some series
+          | Some (Pending cond) ->
+              Condition.wait cond cache_mutex;
+              wait ()
+          | None ->
+              incr misses;
+              Hashtbl.replace cache key (Pending (Condition.create ()));
+              None
+        in
+        wait ())
+  in
+  match claim () with
+  | Some series -> series
+  | None -> (
+      let outcome =
+        match
+          Collector.collect
+            ~options:
+              { Collector.default_options with Collector.seed; plugins = entry.Suite.plugins; repetitions }
+            ~machine ~spec:entry.Suite.spec
+            ~thread_counts:(Collector.default_thread_counts ~max:max_threads)
+            ()
+        with
+        | series -> Ok series
+        | exception e -> Error (e, Printexc.get_raw_backtrace ())
       in
-      Hashtbl.replace cache key series;
-      series
+      let publish slot =
+        Mutex.protect cache_mutex (fun () ->
+            let waiters = Hashtbl.find_opt cache key in
+            (match slot with Some s -> Hashtbl.replace cache key s | None -> Hashtbl.remove cache key);
+            match waiters with Some (Pending cond) -> Condition.broadcast cond | _ -> ())
+      in
+      match outcome with
+      | Ok series ->
+          publish (Some (Ready series));
+          series
+      | Error (e, bt) ->
+          (* Drop the pending slot so waiters retry the collection rather
+             than hang. *)
+          publish None;
+          Printexc.raise_with_backtrace e bt)
 
 let measure ?(seed = 42) ~entry ~machine ~max_threads () = collect_cached ~seed ~entry ~machine ~max_threads
 
@@ -74,12 +129,12 @@ let predict ?software ?(checkpoints = Approximation.default_config.Approximation
     }
   in
   let target_max = Option.value ~default:(Topology.cores target_machine) target_threads in
-  if Lazy.force trace_enabled then begin
+  if trace_enabled () then begin
     let recorder = Estima_obs.Recorder.create () in
     let prediction =
       Estima_obs.Recorder.record recorder (fun () -> Predictor.predict ~config ~series ~target_max ())
     in
-    Printf.printf "\n[trace] %s: %s -> %s (%d cores)\n"
+    Render.printf "\n[trace] %s: %s -> %s (%d cores)\n"
       entry.Suite.spec.Estima_sim.Spec.name measure_machine.Topology.name
       target_machine.Topology.name target_max;
     Render.audit_summary (Estima_obs.Audit.of_events (Estima_obs.Recorder.events recorder));

@@ -58,4 +58,13 @@ val baseline :
 (** Time-extrapolation comparator under the same protocol. *)
 
 val cache_stats : unit -> int * int
-(** (hits, misses) of the measurement cache, for diagnostics. *)
+(** (hits, misses) of the measurement cache, for diagnostics.  The cache
+    is shared across domains with compute-once promise entries, so the
+    counts do not depend on the jobs setting: misses = distinct keys
+    collected, and a requester that waits on an in-flight collection
+    counts as a hit. *)
+
+val reset_cache : unit -> unit
+(** Drop every cached measurement and zero {!cache_stats} — used by the
+    parallel-scaling benchmark to time cold runs back to back.  Raises
+    [Invalid_argument] if a collection is in flight. *)

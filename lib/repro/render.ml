@@ -1,8 +1,49 @@
+(* ------------------------- output redirection ------------------------- *)
+
+(* Where this domain's renderer output goes: stdout by default, or a
+   capture buffer installed by [with_capture].  The sink is domain-local
+   so that experiments running concurrently on the domain pool
+   (Repro.All.run_all with --jobs > 1) each collect their own output,
+   which the submitting domain then prints in submission order — the
+   parallel run's stdout is byte-identical to the sequential run's. *)
+let sink_key : Buffer.t option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+let print_string s =
+  match !(Domain.DLS.get sink_key) with
+  | None -> Stdlib.print_string s
+  | Some buf -> Buffer.add_string buf s
+
+let printf fmt = Printf.ksprintf print_string fmt
+
+let newline () = print_string "\n"
+
+let flush_out () =
+  match !(Domain.DLS.get sink_key) with None -> Stdlib.flush Stdlib.stdout | Some _ -> ()
+
+let with_capture f =
+  let sink = Domain.DLS.get sink_key in
+  let saved = !sink in
+  let buf = Buffer.create 4096 in
+  sink := Some buf;
+  let restore () = sink := saved in
+  match f () with
+  | v ->
+      restore ();
+      (v, Buffer.contents buf)
+  | exception e ->
+      restore ();
+      raise e
+
+(* ----------------------------- rendering ------------------------------ *)
+
 let heading title =
   let bar = String.make (String.length title + 4) '=' in
-  Printf.printf "\n%s\n| %s |\n%s\n%!" bar title bar
+  printf "\n%s\n| %s |\n%s\n%!" bar title bar;
+  flush_out ()
 
-let subheading title = Printf.printf "\n-- %s --\n%!" title
+let subheading title =
+  printf "\n-- %s --\n" title;
+  flush_out ()
 
 let table ~header ~rows =
   let ncols = List.length header in
@@ -16,14 +57,14 @@ let table ~header ~rows =
   in
   let print_row row =
     List.iteri
-      (fun c cell -> Printf.printf "%s%s  " cell (String.make (List.nth widths c - String.length cell) ' '))
+      (fun c cell -> printf "%s%s  " cell (String.make (List.nth widths c - String.length cell) ' '))
       row;
-    print_newline ()
+    newline ()
   in
   print_row header;
   print_row (List.map (fun w -> String.make w '-') widths);
   List.iter print_row rows;
-  flush stdout
+  flush_out ()
 
 let series ~title ~grid ~columns =
   List.iter

@@ -81,10 +81,10 @@ let run () =
              (if row.xeon20_agrees then "agree" else "DIFFER");
            ])
          r.rows);
-  Printf.printf "\nOpteron 4 CPUs: avg %s, std %s, max %s\n"
+  Render.printf "\nOpteron 4 CPUs: avg %s, std %s, max %s\n"
     (Render.pct r.opteron_4cpu_summary.average)
     (Render.pct r.opteron_4cpu_summary.std_dev)
     (Render.pct r.opteron_4cpu_summary.maximum);
-  Printf.printf "Xeon20 2 CPUs:  avg %s, std %s, max %s\n%!" (Render.pct r.xeon20_summary.average)
+  Render.printf "Xeon20 2 CPUs:  avg %s, std %s, max %s\n%!" (Render.pct r.xeon20_summary.average)
     (Render.pct r.xeon20_summary.std_dev)
     (Render.pct r.xeon20_summary.maximum)

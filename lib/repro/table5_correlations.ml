@@ -53,4 +53,4 @@ let run () =
            ])
          r.rows);
   let a1, a2, a3 = r.average and m1, m2, m3 = r.minimum in
-  Printf.printf "\naverage: %.2f / %.2f / %.2f   minimum: %.2f / %.2f / %.2f\n%!" a1 a2 a3 m1 m2 m3
+  Render.printf "\naverage: %.2f / %.2f / %.2f   minimum: %.2f / %.2f / %.2f\n%!" a1 a2 a3 m1 m2 m3

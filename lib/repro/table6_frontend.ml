@@ -45,4 +45,4 @@ let run () =
            ])
          r.rows);
   let a1, a2, a3 = r.average in
-  Printf.printf "\naverage change: %+.2f / %+.2f / %+.2f percentage points\n%!" a1 a2 a3
+  Render.printf "\naverage change: %+.2f / %+.2f / %+.2f percentage points\n%!" a1 a2 a3

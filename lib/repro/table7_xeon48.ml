@@ -50,9 +50,9 @@ let run () =
     ~header:[ "benchmark"; "Xeon20 errors (T4)"; "Xeon20->Xeon48 errors" ]
     ~rows:
       (List.map (fun row -> [ row.name; Render.pct row.xeon20_error; Render.pct row.xeon48_error ]) r.rows);
-  Printf.printf "\nXeon20 (T4):      avg %s, std %s, max %s\n" (Render.pct r.xeon20_summary.average)
+  Render.printf "\nXeon20 (T4):      avg %s, std %s, max %s\n" (Render.pct r.xeon20_summary.average)
     (Render.pct r.xeon20_summary.std_dev)
     (Render.pct r.xeon20_summary.maximum);
-  Printf.printf "Xeon20 -> Xeon48: avg %s, std %s, max %s\n%!" (Render.pct r.xeon48_summary.average)
+  Render.printf "Xeon20 -> Xeon48: avg %s, std %s, max %s\n%!" (Render.pct r.xeon48_summary.average)
     (Render.pct r.xeon48_summary.std_dev)
     (Render.pct r.xeon48_summary.maximum)

@@ -11,6 +11,7 @@ let () =
       ("workloads", Test_workloads.suite);
       ("estima", Test_estima.suite);
       ("obs", Test_obs.suite);
+      ("par", Test_par.suite);
       ("repro", Test_repro.suite);
       ("properties", Test_properties.suite);
     ]
