@@ -200,45 +200,133 @@ let collect_cmd =
 
 (* --------------------------- predict ------------------------------ *)
 
+(* Diagnostic exit convention: 2 = malformed input, 3 = well-formed input
+   ESTIMA cannot extrapolate (no realistic fit). *)
+let fail_diag d =
+  prerr_endline (Diag.render d);
+  exit (Diag.exit_code d)
+
+let unwrap_diag = function Ok v -> v | Error d -> fail_diag d
+
+let from_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "from" ] ~docv:"FILE.csv"
+        ~doc:
+          "Skip simulated collection and predict from an externally measured series in $(docv)            (the schema `collect --csv` writes: threads, time_seconds, counter and plugin            columns).  The WORKLOAD argument is not needed; the measurements machine            ($(b,--machine)) supplies the vendor and clock of the machine the CSV was            collected on.")
+
+let expr_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "expr" ] ~docv:"EXPR"
+        ~doc:
+          "Scan expression for $(b,--software) $(i,REPORT): literal text with a single %d            marking the value, e.g. 'stm-abort-cycles %d' — one match per measured thread            count.  The category is named after the expression's literal text.")
+
+let predict_software_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "") (some string) None
+    & info [ "software"; "s" ] ~docv:"REPORT"
+        ~doc:
+          "Include software stalled cycles.  With a collected workload, bare $(b,--software)            enables its plugins.  With $(b,--from), $(docv) names a runtime report file            scanned with $(b,--expr) for one software stall category.")
+
+(* The software category takes its name from the expression's literal
+   text: "stm-abort-cycles %d" -> "stm-abort-cycles". *)
+let expression_category expression =
+  let n = String.length expression in
+  let rec find i =
+    if i + 1 >= n then None
+    else if expression.[i] = '%' && expression.[i + 1] = 'd' then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> "software"
+  | Some i -> (
+      match String.trim (String.sub expression 0 i ^ String.sub expression (i + 2) (n - i - 2)) with
+      | "" -> "software"
+      | name -> name)
+
+let ingested_series ~path ~machine ~software ~expr =
+  let spec_name = Filename.remove_extension (Filename.basename path) in
+  let series = unwrap_diag (Ingest.load_series ~machine ~spec_name path) in
+  match software with
+  | None | Some "" -> (series, false)
+  | Some report_path ->
+      let expression =
+        match expr with
+        | Some e -> e
+        | None ->
+            prerr_endline "estima_cli predict: --software REPORT requires --expr EXPR";
+            exit 2
+      in
+      let report = unwrap_diag (Ingest.load_report report_path) in
+      let series =
+        unwrap_diag
+          (Ingest.attach_software ~name:(expression_category expression) ~expression ~report series)
+      in
+      (series, true)
+
 let predict_cmd =
-  let run entry measure_machine sockets window target software seed reps trace jobs =
+  let run entry from measure_machine sockets window target software expr seed reps trace jobs =
     apply_jobs jobs;
     let measure_machine = restrict measure_machine sockets in
-    let max_threads = Option.value ~default:(Topology.cores measure_machine) window in
-    let series = collect_series ~entry ~machine:measure_machine ~max_threads ~seed ~repetitions:reps in
+    let series, include_software =
+      match (from, entry) with
+      | Some path, _ -> ingested_series ~path ~machine:measure_machine ~software ~expr
+      | None, Some entry ->
+          let max_threads = Option.value ~default:(Topology.cores measure_machine) window in
+          ( collect_series ~entry ~machine:measure_machine ~max_threads ~seed ~repetitions:reps,
+            Option.is_some software && entry.Suite.plugins <> [] )
+      | None, None ->
+          prerr_endline "estima_cli predict: a WORKLOAD name or --from FILE.csv is required";
+          exit 2
+    in
     let config =
       {
         Predictor.default_config with
-        Predictor.include_software = software && entry.Suite.plugins <> [];
+        Predictor.include_software;
         frequency_scale = Frequency.time_scale ~measured_on:measure_machine ~target;
       }
     in
-    let recorder, prediction =
+    let recorder, result =
       record_trace trace (fun () -> Predictor.predict ~config ~series ~target_max:(Topology.cores target) ())
     in
-    Format.printf "%a@.@." Predictor.pp_summary prediction;
-    Printf.printf "cores  predicted-time(s)  stalls/core\n";
-    Array.iteri
-      (fun i n ->
-        Printf.printf "%5.0f  %17.5f  %.4g\n" n prediction.Predictor.predicted_times.(i)
-          prediction.Predictor.stalls_per_core.(i))
-      prediction.Predictor.target_grid;
-    let verdict =
-      Error.scaling_verdict ~times:prediction.Predictor.predicted_times
-        ~grid:prediction.Predictor.target_grid ()
-    in
-    Printf.printf "\nprediction: the application %s\n" (Error.verdict_to_string verdict);
-    print_trace trace recorder
+    match result with
+    | Error d ->
+        (* Print the trace first: with --trace it explains, per candidate
+           and stage, why the pipeline had nothing to offer. *)
+        print_trace trace recorder;
+        fail_diag d
+    | Ok prediction ->
+        Format.printf "%a@.@." Predictor.pp_summary prediction;
+        Printf.printf "cores  predicted-time(s)  stalls/core\n";
+        Array.iteri
+          (fun i n ->
+            Printf.printf "%5.0f  %17.5f  %.4g\n" n prediction.Predictor.predicted_times.(i)
+              prediction.Predictor.stalls_per_core.(i))
+          prediction.Predictor.target_grid;
+        let verdict =
+          Error.scaling_verdict ~times:prediction.Predictor.predicted_times
+            ~grid:prediction.Predictor.target_grid ()
+        in
+        Printf.printf "\nprediction: the application %s\n" (Error.verdict_to_string verdict);
+        print_trace trace recorder
   in
   Cmd.v
-    (Cmd.info "predict" ~doc:"Measure on a small machine and predict a larger one.")
+    (Cmd.info "predict"
+       ~doc:
+         "Measure on a small machine (or ingest your own measurements with --from) and predict a          larger one.  Exits 2 on malformed input, 3 when no realistic fit exists.")
     Term.(
-      const run $ workload_arg
+      const run
+      $ Arg.(value & pos 0 (some entry_conv) None & info [] ~docv:"WORKLOAD" ~doc:"Workload name (omit with --from).")
+      $ from_arg
       $ machine_arg ~default:(Machines.restrict_sockets Machines.opteron48 ~sockets:1)
           [ "machine"; "m" ] "Measurements machine."
       $ sockets_arg $ window_arg
       $ machine_arg ~default:Machines.opteron48 [ "target"; "t" ] "Target machine."
-      $ software_arg $ seed_arg $ reps_arg $ trace_arg $ jobs_arg)
+      $ predict_software_arg $ expr_arg $ seed_arg $ reps_arg $ trace_arg $ jobs_arg)
 
 (* --------------------------- compare ------------------------------ *)
 
@@ -257,7 +345,7 @@ let compare_cmd =
         config = { Predictor.default_config with Predictor.include_software = entry.Suite.plugins <> [] };
       }
     in
-    let o = Experiment.run setup in
+    let o = unwrap_diag (Experiment.run setup) in
     let truth = Series.times o.Experiment.truth in
     Printf.printf "cores  estima(s)  time-extrap(s)  measured(s)\n";
     Array.iteri
@@ -292,14 +380,19 @@ let bottleneck_cmd =
     let measure_machine = restrict target (Some (Option.value ~default:1 sockets)) in
     let max_threads = Option.value ~default:(Topology.cores measure_machine) window in
     let series = collect_series ~entry ~machine:measure_machine ~max_threads ~seed ~repetitions:reps in
-    let recorder, prediction =
+    let recorder, result =
       record_trace trace (fun () ->
           Predictor.predict
             ~config:{ Predictor.default_config with Predictor.include_software = true }
             ~series ~target_max:(Topology.cores target) ())
     in
-    Format.printf "%a@." Bottleneck.pp (Bottleneck.analyze prediction);
-    print_trace trace recorder
+    match result with
+    | Error d ->
+        print_trace trace recorder;
+        fail_diag d
+    | Ok prediction ->
+        Format.printf "%a@." Bottleneck.pp (Bottleneck.analyze prediction);
+        print_trace trace recorder
   in
   Cmd.v
     (Cmd.info "bottleneck" ~doc:"Rank the stall categories that will dominate at scale.")

@@ -23,9 +23,15 @@ let hunt name fixed_name =
       ()
   in
   let prediction =
-    Predictor.predict
-      ~config:{ Predictor.default_config with Predictor.include_software = true }
-      ~series ~target_max:48 ()
+    match
+      Predictor.predict
+        ~config:{ Predictor.default_config with Predictor.include_software = true }
+        ~series ~target_max:48 ()
+    with
+    | Ok prediction -> prediction
+    | Error d ->
+        prerr_endline (Diag.render d);
+        exit (Diag.exit_code d)
   in
   Format.printf "== %s ==@.%a@." name Bottleneck.pp (Bottleneck.analyze prediction);
   (* Apply the fix and compare on the full machine. *)

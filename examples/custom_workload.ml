@@ -34,9 +34,15 @@ let () =
       ()
   in
   let prediction =
-    Predictor.predict
-      ~config:{ Predictor.default_config with Predictor.include_software = true }
-      ~series ~target_max:48 ()
+    match
+      Predictor.predict
+        ~config:{ Predictor.default_config with Predictor.include_software = true }
+        ~series ~target_max:48 ()
+    with
+    | Ok prediction -> prediction
+    | Error d ->
+        prerr_endline (Diag.render d);
+        exit (Diag.exit_code d)
   in
   Format.printf "%a@.@." Predictor.pp_summary prediction;
   let spc = prediction.Predictor.stalls_per_core in

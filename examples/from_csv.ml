@@ -1,0 +1,44 @@
+(* Bring your own measurements: predict from a CSV file collected outside
+   ESTIMA (here, examples/data/kmeans_opteron.csv — the exact table
+   `estima_cli collect kmeans --sockets 1 --csv ...` writes, and the same
+   schema your own perf scripts can produce).
+
+   The staged pipeline returns results, not exceptions: every way the
+   input can be unusable — malformed CSV, a series too short to fit, no
+   realistic extrapolation — surfaces as a Diag.t naming the stage, the
+   subject and a typed cause, which this program prints to stderr before
+   exiting with the diagnostic's code (2 bad input, 3 no realistic fit).
+
+   Run with:  dune exec examples/from_csv.exe [FILE.csv] *)
+
+open Estima_machine
+open Estima_counters
+open Estima
+
+let default_csv = "examples/data/kmeans_opteron.csv"
+
+let or_die = function
+  | Ok v -> v
+  | Error d ->
+      prerr_endline (Diag.render d);
+      exit (Diag.exit_code d)
+
+let () =
+  let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else default_csv in
+  (* The machine the CSV was measured on: it supplies the counter
+     vocabulary (vendor) and the clock used when a cycles column is
+     absent. *)
+  let measurements_machine = Machines.restrict_sockets Machines.opteron48 ~sockets:1 in
+  let spec_name = Filename.remove_extension (Filename.basename path) in
+  let series = or_die (Ingest.load_series ~machine:measurements_machine ~spec_name path) in
+  Format.printf "ingested %d measured points from %s@." (Array.length series.Series.samples) path;
+  let config = { Predictor.default_config with Predictor.include_software = true } in
+  let prediction = or_die (Predictor.predict ~config ~series ~target_max:48 ()) in
+  Format.printf "%a@.@." Predictor.pp_summary prediction;
+  let times = prediction.Predictor.predicted_times in
+  Format.printf "cores  predicted time@.";
+  List.iter
+    (fun n -> Format.printf "%5d  %.4f s@." n times.(n - 1))
+    [ 1; 8; 16; 24; 32; 40; 48 ];
+  let verdict = Error.scaling_verdict ~times ~grid:prediction.Predictor.target_grid () in
+  Format.printf "@.verdict: the application %s@." (Error.verdict_to_string verdict)

@@ -30,9 +30,16 @@ let () =
   Format.printf "measured %s at 1..12 cores on %a@." entry.Suite.spec.Estima_sim.Spec.name
     Topology.pp measurements_machine;
 
-  (* 3. prediction (steps B and C) *)
+  (* 3. prediction (steps B and C); a stage that cannot proceed reports a
+     diagnostic instead of raising *)
   let config = { Predictor.default_config with Predictor.include_software = true } in
-  let prediction = Predictor.predict ~config ~series ~target_max:(Topology.cores target_machine) () in
+  let prediction =
+    match Predictor.predict ~config ~series ~target_max:(Topology.cores target_machine) () with
+    | Ok prediction -> prediction
+    | Error d ->
+        prerr_endline (Diag.render d);
+        exit (Diag.exit_code d)
+  in
   Format.printf "%a@.@." Predictor.pp_summary prediction;
 
   (* 4. the predicted curve *)

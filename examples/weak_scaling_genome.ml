@@ -24,7 +24,13 @@ let () =
   let config =
     { Predictor.default_config with Predictor.include_software = true; dataset_factor = 2.0 }
   in
-  let prediction = Predictor.predict ~config ~series ~target_max:20 () in
+  let prediction =
+    match Predictor.predict ~config ~series ~target_max:20 () with
+    | Ok prediction -> prediction
+    | Error d ->
+        prerr_endline (Diag.render d);
+        exit (Diag.exit_code d)
+  in
   (* Ground truth: the full machine genuinely running the doubled dataset. *)
   let doubled = { (Spec.dataset_scale entry.Suite.spec 2.0) with Spec.name = "genome-2x" } in
   let truth =

@@ -20,7 +20,7 @@ let checkpoint_indices ~m ~c = List.init c (fun i -> m - c + i)
 let sub_prefix arr n = Array.sub arr 0 n
 
 let fit_prefix kernel ~xs ~ys ~prefix =
-  if prefix > Array.length xs then invalid_arg "Approximation.fit_prefix: prefix too long";
+  if prefix > Array.length xs then invalid_arg "Approximation.fit_prefix: prefix too long" (* exn-shim *);
   Fit.fit kernel ~xs:(sub_prefix xs prefix) ~ys:(sub_prefix ys prefix)
 
 (* Trace helpers, all guarded on [Trace.enabled]: with no sink installed
@@ -110,9 +110,19 @@ let fallback ?(subject = "series") ?(extra_ok = fun (_ : Fit.fitted) -> true) ~x
 let approximate ?(config = default_config) ?(subject = "series") ~xs ~ys ~target_max
     ~require_nonnegative () =
   let m = Array.length xs in
-  if m = 0 || m <> Array.length ys then invalid_arg "Approximation.approximate: bad input";
-  if config.checkpoints <= 0 || config.min_prefix < 2 then
-    invalid_arg "Approximation.approximate: bad config";
+  let err cause = Diag.error ~stage:Diag.Extrapolate ~subject cause in
+  if m = 0 then err (Diag.Short_series { points = 0; needed = 1 })
+  else if m <> Array.length ys then
+    err (Diag.Mismatched_lengths { what = "ys"; expected = m; got = Array.length ys })
+  else if config.checkpoints <= 0 || config.min_prefix < 2 then
+    err
+      (Diag.Bad_config
+         {
+           what =
+             Printf.sprintf "checkpoints = %d, min_prefix = %d (need checkpoints > 0, min_prefix >= 2)"
+               config.checkpoints config.min_prefix;
+         })
+  else begin
   let n = m - config.checkpoints in
   let result =
   if n < config.min_prefix then fallback ~subject ~xs ~ys ~target_max ~require_nonnegative ()
@@ -310,5 +320,15 @@ let approximate ?(config = default_config) ?(subject = "series") ~xs ~ys ~target
           ~xs ~ys ~target_max ~require_nonnegative ()
   end
   in
-  (match result with Some choice -> trace_winner ~subject choice | None -> ());
-  result
+  match result with
+  | Some choice ->
+      trace_winner ~subject choice;
+      Ok choice
+  | None -> err (Diag.No_realistic_fit { window = int_of_float xs.(m - 1) })
+  end
+
+let approximate_exn ?config ?subject ~xs ~ys ~target_max ~require_nonnegative () =
+  match approximate ?config ?subject ~xs ~ys ~target_max ~require_nonnegative () with
+  | Ok choice -> Some choice
+  | Error { Diag.cause = Diag.No_realistic_fit _; _ } -> None
+  | Error d -> Diag.raise_exn d (* exn-shim *)

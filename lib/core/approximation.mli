@@ -33,24 +33,39 @@ val approximate :
   target_max:float ->
   require_nonnegative:bool ->
   unit ->
-  choice option
+  (choice, Diag.t) result
 (** Runs the Figure 4 procedure.  [target_max] bounds the realism check:
     a fit with a pole or blow-up inside [1, target_max] is discarded.
 
-    [subject] names the series in trace events (the stall category name;
-    defaults to ["series"]).  When a trace sink is installed
-    ({!Estima_obs.Trace}), every (kernel, prefix) candidate is reported
-    with the gate that rejected it — realism, growth cap, slope or
-    tie-break — and the eventual winner with its checkpoint RMSE; with no
-    sink the procedure is unchanged and pays only a flag check.
+    [subject] names the series in trace events and diagnostics (the stall
+    category name; defaults to ["series"]).  When a trace sink is
+    installed ({!Estima_obs.Trace}), every (kernel, prefix) candidate is
+    reported with the gate that rejected it — realism, growth cap, slope
+    or tie-break — and the eventual winner with its checkpoint RMSE; with
+    no sink the procedure is unchanged and pays only a flag check.
 
     With very short series (fewer than [min_prefix + checkpoints] points —
     e.g. the paper's memcached experiment measures only three thread
     counts) the checkpoint scheme cannot run; a low-degree polynomial
     fitted on all points is used instead, with its own fit RMSE as the
-    score.  Returns [None] only when no candidate survives the realism
-    filter.  Raises [Invalid_argument] on mismatched or empty input or a
-    non-positive config. *)
+    score.
+
+    Never raises on the pipeline path: empty or mismatched input and a
+    non-positive config come back as [Error] ({!Diag.Short_series},
+    {!Diag.Mismatched_lengths}, {!Diag.Bad_config}), and a series no
+    candidate survives on as [Error] with {!Diag.No_realistic_fit}. *)
+
+val approximate_exn :
+  ?config:config ->
+  ?subject:string ->
+  xs:float array ->
+  ys:float array ->
+  target_max:float ->
+  require_nonnegative:bool ->
+  unit ->
+  choice option
+(** Legacy entry point: [None] for {!Diag.No_realistic_fit}, raises via
+    {!Diag.raise_exn} on every other [Error]. *)
 
 val checkpoint_indices : m:int -> c:int -> int list
 (** Indices of the checkpoint measurements (the [c] last of [m]); exposed

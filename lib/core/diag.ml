@@ -1,0 +1,77 @@
+module Trace = Estima_obs.Trace
+
+type stage = Collect | Extrapolate | Translate
+
+let stage_label = function
+  | Collect -> "collect"
+  | Extrapolate -> "extrapolate"
+  | Translate -> "translate"
+
+type cause =
+  | Parse_error of { file : string; line : int; msg : string }
+  | Short_series of { points : int; needed : int }
+  | Mismatched_lengths of { what : string; expected : int; got : int }
+  | Missing_category of { category : string; threads : int }
+  | Bad_config of { what : string }
+  | Bad_value of { what : string; value : float }
+  | Target_below_window of { target : int; window : int }
+  | No_realistic_fit of { window : int }
+
+let cause_label = function
+  | Parse_error _ -> "parse-error"
+  | Short_series _ -> "short-series"
+  | Mismatched_lengths _ -> "mismatched-lengths"
+  | Missing_category _ -> "missing-category"
+  | Bad_config _ -> "bad-config"
+  | Bad_value _ -> "bad-value"
+  | Target_below_window _ -> "target-below-window"
+  | No_realistic_fit _ -> "no-realistic-fit"
+
+let cause_message = function
+  | Parse_error { file; line; msg } ->
+      if line > 0 then Printf.sprintf "%s:%d: %s" file line msg
+      else Printf.sprintf "%s: %s" file msg
+  | Short_series { points; needed } ->
+      Printf.sprintf "series too short: %d point%s measured, %d needed" points
+        (if points = 1 then "" else "s")
+        needed
+  | Mismatched_lengths { what; expected; got } ->
+      Printf.sprintf "mismatched lengths: %s has %d element%s, expected %d" what got
+        (if got = 1 then "" else "s")
+        expected
+  | Missing_category { category; threads } ->
+      Printf.sprintf "stall category %s is missing from the %d-thread sample" category threads
+  | Bad_config { what } -> Printf.sprintf "bad configuration: %s" what
+  | Bad_value { what; value } -> Printf.sprintf "bad value: %s is %g" what value
+  | Target_below_window { target; window } ->
+      Printf.sprintf "target of %d cores is below the measurement window (measured <= %d cores)"
+        target window
+  | No_realistic_fit { window } ->
+      Printf.sprintf "no realistic fit (measured window <= %d cores)" window
+
+type t = { stage : stage; subject : string; cause : cause }
+
+let make ~stage ~subject cause = { stage; subject; cause }
+
+let render t =
+  Printf.sprintf "estima: [%s] %s: %s" (stage_label t.stage) t.subject (cause_message t.cause)
+
+let error ~stage ~subject cause =
+  let t = make ~stage ~subject cause in
+  if Trace.enabled () then
+    Trace.emit
+      (Trace.Diagnostic
+         {
+           stage = stage_label stage;
+           subject;
+           cause = cause_label cause;
+           detail = cause_message cause;
+         });
+  Error t
+
+let exit_code t = match t.cause with No_realistic_fit _ -> 3 | _ -> 2
+
+let raise_exn t = (* exn-shim *)
+  match t.cause with
+  | No_realistic_fit _ -> failwith (render t) (* exn-shim *)
+  | _ -> invalid_arg (render t) (* exn-shim *)

@@ -1,0 +1,76 @@
+(** Structured diagnostics for the staged prediction pipeline.
+
+    ESTIMA is a tool: it ingests measurement reports a user collected on
+    their own machine, and bad input is an expected, recoverable event —
+    not a reason to tear the process down with a bare [Failure].  Every
+    stage of the pipeline ([collect -> extrapolate -> translate], the
+    paper's Figure 3) therefore returns [('a, Diag.t) result]: a value on
+    success, and on failure a diagnostic carrying {e which stage} failed,
+    {e what subject} (stall category, workload, file) it was working on,
+    and a {e typed cause} that callers can branch on — with a single
+    human rendering used everywhere (CLI stderr, [_exn] wrappers, trace
+    events).
+
+    The legacy raising entry points survive as thin [_exn] wrappers in
+    each stage module, so existing scripts and the repro harness keep
+    their exact behaviour. *)
+
+(** The pipeline stage that failed (Figure 3's three steps). *)
+type stage =
+  | Collect  (** Measurement ingestion and validation (step A). *)
+  | Extrapolate  (** Per-category stall regression (step B). *)
+  | Translate  (** Stalls-per-core to execution time (step C). *)
+
+val stage_label : stage -> string
+(** ["collect"], ["extrapolate"] or ["translate"]. *)
+
+(** Why the stage failed.  Every constructor is exercised by tests. *)
+type cause =
+  | Parse_error of { file : string; line : int; msg : string }
+      (** Malformed external input ([line] is 1-based; 0 when the error is
+          not tied to a line, e.g. an unreadable file). *)
+  | Short_series of { points : int; needed : int }
+      (** Fewer measured points than the stage can work with. *)
+  | Mismatched_lengths of { what : string; expected : int; got : int }
+      (** Two inputs that must be aligned are not. *)
+  | Missing_category of { category : string; threads : int }
+      (** A stall category present in one sample is absent at [threads]. *)
+  | Bad_config of { what : string }  (** An invalid configuration value. *)
+  | Bad_value of { what : string; value : float }
+      (** A measured quantity outside its valid domain (e.g. non-positive
+          stalls per core). *)
+  | Target_below_window of { target : int; window : int }
+      (** The requested target core count is inside the measured window. *)
+  | No_realistic_fit of { window : int }
+      (** No candidate survived the realism/growth/slope gates; [window]
+          is the highest measured core count. *)
+
+val cause_label : cause -> string
+(** Stable machine-readable label, e.g. ["parse-error"],
+    ["no-realistic-fit"] — what trace events and tests key on. *)
+
+val cause_message : cause -> string
+(** Human rendering of the cause alone. *)
+
+type t = { stage : stage; subject : string; cause : cause }
+
+val make : stage:stage -> subject:string -> cause -> t
+
+val render : t -> string
+(** The one-line human rendering used on CLI stderr and in [_exn]
+    wrappers: ["estima: [<stage>] <subject>: <cause message>"]. *)
+
+val error : stage:stage -> subject:string -> cause -> ('a, t) result
+(** [Error (make ~stage ~subject cause)], additionally reported as a
+    {!Estima_obs.Trace.Diagnostic} event when a trace sink is installed —
+    so [--trace] output shows {e why} a stage failed, in place. *)
+
+val exit_code : t -> int
+(** CLI exit code: 3 for {!No_realistic_fit} (the input was well-formed
+    but ESTIMA cannot extrapolate it), 2 for every bad-input cause. *)
+
+val raise_exn : t -> 'a
+(** The legacy exception for this diagnostic: [Failure] for
+    {!No_realistic_fit} (what the pipeline used to [failwith]),
+    [Invalid_argument] otherwise — both carrying {!render}.  Used by the
+    [_exn] compatibility wrappers. *)

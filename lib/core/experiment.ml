@@ -53,6 +53,8 @@ let ground_truth ?max_threads setup =
     ~thread_counts:(Collector.default_thread_counts ~max)
     ()
 
+let ( let* ) = Result.bind
+
 let run ?target_max setup =
   let target_max = Option.value ~default:(Topology.cores setup.target_machine) target_max in
   let measurements = measure setup in
@@ -60,15 +62,16 @@ let run ?target_max setup =
     Frequency.time_scale ~measured_on:setup.measure_machine ~target:setup.target_machine
   in
   let config = { setup.config with Predictor.frequency_scale } in
-  let prediction = Predictor.predict ~config ~series:measurements ~target_max () in
+  let* prediction = Predictor.predict ~config ~series:measurements ~target_max () in
   let truth = ground_truth ~max_threads:target_max setup in
   let measured_times = Series.times truth in
   let error =
     Error.evaluate ~predicted:prediction.Predictor.predicted_times ~measured:measured_times
       ~target_grid:prediction.Predictor.target_grid ()
   in
-  let time_baseline =
+  let* time_baseline =
     Time_extrapolation.predict ~config:setup.config.Predictor.approximation
+      ~subject:measurements.Series.spec_name
       ~threads:(Series.threads measurements) ~times:(Series.times measurements) ~target_max
       ~frequency_scale ()
   in
@@ -76,7 +79,10 @@ let run ?target_max setup =
     Error.evaluate ~predicted:time_baseline.Time_extrapolation.predicted_times
       ~measured:measured_times ~target_grid:time_baseline.Time_extrapolation.target_grid ()
   in
-  { setup; measurements; prediction; truth; error; time_baseline; baseline_error }
+  Ok { setup; measurements; prediction; truth; error; time_baseline; baseline_error }
+
+let run_exn ?target_max setup =
+  match run ?target_max setup with Ok o -> o | Error d -> Diag.raise_exn d (* exn-shim *)
 
 let max_error_from outcome ~from_threads =
   List.fold_left

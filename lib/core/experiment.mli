@@ -40,10 +40,15 @@ val measure : setup -> Series.t
 val ground_truth : ?max_threads:int -> setup -> Series.t
 (** Sweep of the target machine at 1..max (defaults to every core). *)
 
-val run : ?target_max:int -> setup -> outcome
+val run : ?target_max:int -> setup -> (outcome, Diag.t) result
 (** The full protocol.  [target_max] defaults to the target machine's core
     count.  The frequency scale between the two machines is applied
-    automatically. *)
+    automatically.  Pipeline failures (no realistic fit, target below the
+    window) come back as [Error]; the time baseline carries the workload
+    name as its diagnostic subject. *)
+
+val run_exn : ?target_max:int -> setup -> outcome
+(** Legacy raising entry point: {!Diag.raise_exn} on [Error]. *)
 
 val max_error_from : outcome -> from_threads:int -> float
 (** Maximum relative error restricted to core counts >= [from_threads]

@@ -37,10 +37,13 @@ let clamped_eval fit n = Float.max 0.0 (fit.choice.Approximation.fitted.Fit.eval
 
 let extrapolate ?(config = Approximation.default_config) ~series ~target_max ~include_software
     ~include_frontend () =
+  let subject = series.Series.spec_name in
   if Array.length series.Series.samples = 0 then
-    invalid_arg "Extrapolation.extrapolate: series has no samples";
-  if target_max < Series.max_threads series then
-    invalid_arg "Extrapolation.extrapolate: target below measurement window";
+    Diag.error ~stage:Diag.Extrapolate ~subject (Diag.Short_series { points = 0; needed = 1 })
+  else if target_max < Series.max_threads series then
+    Diag.error ~stage:Diag.Extrapolate ~subject
+      (Diag.Target_below_window { target = target_max; window = Series.max_threads series })
+  else begin
   let xs = Series.threads series in
   let categories = Series.categories series ~include_frontend in
   let categories =
@@ -59,42 +62,67 @@ let extrapolate ?(config = Approximation.default_config) ~series ~target_max ~in
       in
       List.filter (fun c -> not (List.mem c software)) categories
   in
-  let fits =
+  let fit_results =
     List.map
       (fun category ->
         Trace.with_span ("category:" ^ category) (fun () ->
-            let ys = Series.category_values series category in
-            if Array.for_all (fun v -> v = 0.0) ys then begin
-              if Trace.enabled () then
-                Trace.emit
-                  (Trace.Winner
-                     {
-                       stage = Trace.stall_stage;
-                       subject = category;
-                       kernel = "Zero";
-                       prefix = Array.length ys;
-                       score = 0.0;
-                       correlation = Float.nan;
-                     });
-              zero_fit category ys
-            end
-            else
-              match
-                Approximation.approximate ~config ~subject:category ~xs ~ys
-                  ~target_max:(float_of_int target_max) ~require_nonnegative:true ()
-              with
-              | Some choice -> { category; choice; measured = ys }
-              | None ->
-                  Stdlib.failwith
-                    (Printf.sprintf "no realistic fit for stall category %s" category)))
+            match Series.category_values series category with
+            | exception Not_found ->
+                (* Some sample lacks the category; name the first thread
+                   count where it is missing. *)
+                let threads =
+                  Array.fold_left
+                    (fun acc (s : Sample.t) ->
+                      match acc with
+                      | Some _ -> acc
+                      | None -> (
+                          match Sample.counter s category with
+                          | (_ : float) -> None
+                          | exception Not_found -> Some s.Sample.threads))
+                    None series.Series.samples
+                  |> Option.value ~default:0
+                in
+                Diag.error ~stage:Diag.Extrapolate ~subject:category
+                  (Diag.Missing_category { category; threads })
+            | ys ->
+                if Array.for_all (fun v -> v = 0.0) ys then begin
+                  if Trace.enabled () then
+                    Trace.emit
+                      (Trace.Winner
+                         {
+                           stage = Trace.stall_stage;
+                           subject = category;
+                           kernel = "Zero";
+                           prefix = Array.length ys;
+                           score = 0.0;
+                           correlation = Float.nan;
+                         });
+                  Ok (zero_fit category ys)
+                end
+                else
+                  Result.map
+                    (fun choice -> { category; choice; measured = ys })
+                    (Approximation.approximate ~config ~subject:category ~xs ~ys
+                       ~target_max:(float_of_int target_max) ~require_nonnegative:true ())))
       categories
   in
-  let target_grid = Array.init target_max (fun i -> float_of_int (i + 1)) in
-  { fits; threads = xs; target_grid }
+  match
+    List.partition_map (function Ok f -> Either.Left f | Error d -> Either.Right d) fit_results
+  with
+  | fits, [] ->
+      let target_grid = Array.init target_max (fun i -> float_of_int (i + 1)) in
+      Ok { fits; threads = xs; target_grid }
+  | _, d :: _ -> Error d
+  end
+
+let extrapolate_exn ?config ~series ~target_max ~include_software ~include_frontend () =
+  match extrapolate ?config ~series ~target_max ~include_software ~include_frontend () with
+  | Ok t -> t
+  | Error d -> Diag.raise_exn d (* exn-shim *)
 
 let category_values t name =
   match List.find_opt (fun f -> String.equal f.category name) t.fits with
-  | None -> raise Not_found
+  | None -> raise Not_found (* exn-shim *)
   | Some f -> Array.map (clamped_eval f) t.target_grid
 
 let total_stalls t n = List.fold_left (fun acc f -> acc +. clamped_eval f n) 0.0 t.fits

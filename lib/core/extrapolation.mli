@@ -26,19 +26,35 @@ val extrapolate :
   include_software:bool ->
   include_frontend:bool ->
   unit ->
-  t
+  (t, Diag.t) result
 (** Fits every stall category of [series].  Categories whose measurements
     are identically zero are carried as exact zero fits.  The software
     categories excluded by [include_software:false] are the union across
     all samples, so a plugin that reports at only some thread counts is
-    still excluded everywhere.  Raises [Failure] naming the category when
-    no realistic fit exists for a non-zero category (callers treat this as
-    "ESTIMA cannot extrapolate this series"), and [Invalid_argument] on a
-    series with no samples.
+    still excluded everywhere.
+
+    Never raises on the pipeline path.  [Error] cases: an empty series
+    ({!Diag.Short_series}), a target inside the measured window
+    ({!Diag.Target_below_window}), a category absent from some sample
+    ({!Diag.Missing_category}, subject = the category), and a non-zero
+    category no realistic fit exists for ({!Diag.No_realistic_fit},
+    subject = the category — "ESTIMA cannot extrapolate this series").
+    All categories are fitted even when one fails, so a trace shows every
+    diagnostic; the first failing category's diagnostic is returned.
 
     When a trace sink is installed ({!Estima_obs.Trace}), each category is
     fitted inside a [category:<name>] span and its candidate gate
     decisions are reported with the category as subject. *)
+
+val extrapolate_exn :
+  ?config:Approximation.config ->
+  series:Series.t ->
+  target_max:int ->
+  include_software:bool ->
+  include_frontend:bool ->
+  unit ->
+  t
+(** Legacy raising entry point: {!Diag.raise_exn} on [Error]. *)
 
 val category_values : t -> string -> float array
 (** Extrapolated values of one category on the target grid, clamped at

@@ -1,0 +1,46 @@
+open Estima_counters
+
+let of_io_error { Series_io.file; line; msg } ~subject =
+  Diag.error ~stage:Diag.Collect ~subject (Diag.Parse_error { file; line; msg })
+
+let series_of_csv ?file ~machine ~spec_name text =
+  match Series_io.parse ?file ~machine ~spec_name text with
+  | Ok series -> Ok series
+  | Error e -> of_io_error e ~subject:spec_name
+
+let load_series ~machine ~spec_name path =
+  match Series_io.load ~machine ~spec_name path with
+  | Ok series -> Ok series
+  | Error e -> of_io_error e ~subject:spec_name
+
+let load_report path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> Ok text
+  | exception Sys_error msg ->
+      Diag.error ~stage:Diag.Collect ~subject:path (Diag.Parse_error { file = path; line = 0; msg })
+
+let attach_software ~name ~expression ~report series =
+  let err cause = Diag.error ~stage:Diag.Collect ~subject:name cause in
+  match Report_file.scan ~expression report with
+  | exception Invalid_argument _ ->
+      err
+        (Diag.Bad_config
+           { what = Printf.sprintf "expression %S must contain exactly one %%d" expression })
+  | values ->
+      let samples = Array.to_list series.Series.samples in
+      let expected = List.length samples in
+      let got = List.length values in
+      if got <> expected then
+        err (Diag.Mismatched_lengths { what = "scanned software values"; expected; got })
+      else if
+        List.exists
+          (fun (s : Sample.t) ->
+            List.mem_assoc name s.Sample.software || List.mem_assoc name s.Sample.counters)
+          samples
+      then err (Diag.Bad_config { what = Printf.sprintf "category %S already present" name })
+      else
+        Ok
+          (Series.make ~machine:series.Series.machine ~spec_name:series.Series.spec_name
+             (List.map2
+                (fun (s : Sample.t) v -> { s with Sample.software = s.Sample.software @ [ (name, v) ] })
+                samples values))

@@ -1,0 +1,47 @@
+(** Stage A for measurements ESTIMA did not collect itself.
+
+    The paper's workflow starts from profiles a user gathers on their own
+    machine; this module turns such external artefacts into the
+    {!Estima_counters.Series.t} the pipeline consumes, reporting every
+    malformation as a {!Diag.t} with stage {!Diag.Collect}:
+
+    - a CSV table in the {!Estima_counters.Series_io} schema (the exact
+      format [estima_cli collect --csv] writes), and
+    - software stall values scavenged from a runtime's report file with a
+      ["name %d"]-style expression ({!Estima_counters.Report_file.scan}). *)
+
+open Estima_counters
+
+val series_of_csv :
+  ?file:string ->
+  machine:Estima_machine.Topology.t ->
+  spec_name:string ->
+  string ->
+  (Series.t, Diag.t) result
+(** Parse a CSV document ({!Series_io.parse}); parse failures become
+    {!Diag.Parse_error} with the 1-based line. *)
+
+val load_series :
+  machine:Estima_machine.Topology.t ->
+  spec_name:string ->
+  string ->
+  (Series.t, Diag.t) result
+(** Read and parse a CSV file; an unreadable file is a {!Diag.Parse_error}
+    with [line = 0]. *)
+
+val attach_software :
+  name:string ->
+  expression:string ->
+  report:string ->
+  Series.t ->
+  (Series.t, Diag.t) result
+(** Add one software stall category to every sample of a series, with
+    values scanned from [report] — one match per measured thread count, in
+    series order.  [Error] cases: an expression without exactly one [%d]
+    ({!Diag.Bad_config}), a scan yielding a different number of values
+    than the series has samples ({!Diag.Mismatched_lengths}), a category
+    [name] the series already carries ({!Diag.Bad_config}). *)
+
+val load_report : string -> (string, Diag.t) result
+(** Read a report file whole; unreadable files become {!Diag.Parse_error}
+    with [line = 0]. *)

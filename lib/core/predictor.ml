@@ -30,8 +30,14 @@ type t = {
   audit : Estima_obs.Audit.t option;
 }
 
+let ( let* ) = Result.bind
+
+(* The staged pipeline (paper Figure 3): the series in hand is the output
+   of stage A (collect — {!Ingest} for external measurements); stage B
+   (extrapolate) and stage C (translate) run here, each reporting failure
+   as a [Diag.t] rather than an exception. *)
 let predict_untraced ~config ~series ~target_max () =
-  let extrapolation =
+  let* extrapolation =
     Trace.with_span "extrapolate" (fun () ->
         Extrapolation.extrapolate ~config:config.approximation ~series ~target_max
           ~include_software:config.include_software ~include_frontend:config.include_frontend ())
@@ -54,7 +60,7 @@ let predict_untraced ~config ~series ~target_max () =
       (Series.stalls_per_core series ~include_frontend:config.include_frontend
          ~include_software:config.include_software)
   in
-  let factor =
+  let* factor =
     Trace.with_span "factor" (fun () ->
         Scaling_factor.fit ~config:config.approximation ~threads ~times ~stalls_per_core_measured
           ~stalls_per_core_grid:stalls_per_core ~target_grid ())
@@ -81,12 +87,28 @@ let predict_untraced ~config ~series ~target_max () =
     done;
     out
   in
-  { config; series; target_grid; predicted_times; stalls_per_core; extrapolation; factor; audit = None }
+  Ok
+    {
+      config;
+      series;
+      target_grid;
+      predicted_times;
+      stalls_per_core;
+      extrapolation;
+      factor;
+      audit = None;
+    }
 
 let predict ?(config = default_config) ~series ~target_max () =
   if config.frequency_scale <= 0.0 || config.dataset_factor <= 0.0 then
-    invalid_arg "Predictor.predict: non-positive scale";
-  if Trace.enabled () then begin
+    Diag.error ~stage:Diag.Collect ~subject:series.Series.spec_name
+      (Diag.Bad_config
+         {
+           what =
+             Printf.sprintf "frequency_scale = %g, dataset_factor = %g (both must be positive)"
+               config.frequency_scale config.dataset_factor;
+         })
+  else if Trace.enabled () then begin
     (* Capture the pipeline's own trace (teed to the outer sink) so the
        prediction carries its per-category audit record.  Without a sink
        the pipeline runs untouched and no audit is built. *)
@@ -95,13 +117,21 @@ let predict ?(config = default_config) ~series ~target_max () =
       Estima_obs.Recorder.record recorder (fun () ->
           Trace.with_span "predict" (fun () -> predict_untraced ~config ~series ~target_max ()))
     in
-    { prediction with audit = Some (Estima_obs.Audit.of_events (Estima_obs.Recorder.events recorder)) }
+    Result.map
+      (fun p ->
+        { p with audit = Some (Estima_obs.Audit.of_events (Estima_obs.Recorder.events recorder)) })
+      prediction
   end
   else predict_untraced ~config ~series ~target_max ()
 
+let predict_exn ?config ~series ~target_max () =
+  match predict ?config ~series ~target_max () with
+  | Ok p -> p
+  | Error d -> Diag.raise_exn d (* exn-shim *)
+
 let predicted_time_at t ~threads =
   if threads < 1 || threads > Array.length t.predicted_times then
-    invalid_arg "Predictor.predicted_time_at: outside target grid";
+    invalid_arg "Predictor.predicted_time_at: outside target grid" (* exn-shim *);
   t.predicted_times.(threads - 1)
 
 let measured_window t = Series.max_threads t.series

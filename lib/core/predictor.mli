@@ -41,9 +41,19 @@ type t = {
           the numeric prediction is byte-identical either way. *)
 }
 
-val predict : ?config:config -> series:Series.t -> target_max:int -> unit -> t
-(** Raises [Invalid_argument] when [target_max] is below the measurement
-    window, [Failure] when a stall category admits no realistic fit. *)
+val predict :
+  ?config:config -> series:Series.t -> target_max:int -> unit -> (t, Diag.t) result
+(** Runs the staged pipeline on a collected series.  Never raises:
+    [Error] with {!Diag.Target_below_window} when [target_max] is below
+    the measurement window, {!Diag.No_realistic_fit} (subject = the stall
+    category) when a category admits no realistic fit,
+    {!Diag.Bad_config} on non-positive scale factors.  When a trace sink
+    is installed, each diagnostic is also emitted as a
+    {!Estima_obs.Trace.Diagnostic} event before the stage returns. *)
+
+val predict_exn : ?config:config -> series:Series.t -> target_max:int -> unit -> t
+(** Legacy raising entry point: {!Diag.raise_exn} on [Error]
+    ([Invalid_argument] for bad input, [Failure] for no realistic fit). *)
 
 val predicted_time_at : t -> threads:int -> float
 (** Raises [Invalid_argument] outside the target grid. *)

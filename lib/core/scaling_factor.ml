@@ -56,12 +56,35 @@ let predict_with fitted ~stalls_per_core_grid ~target_grid =
 let fit ?(config = Approximation.default_config) ~threads ~times ~stalls_per_core_measured
     ~stalls_per_core_grid ~target_grid () =
   let m = Array.length threads in
-  if m = 0 || m <> Array.length times || m <> Array.length stalls_per_core_measured then
-    invalid_arg "Scaling_factor.fit: inconsistent measurements";
-  if Array.length stalls_per_core_grid <> Array.length target_grid then
-    invalid_arg "Scaling_factor.fit: inconsistent grid";
-  if Array.exists (fun s -> s <= 0.0) stalls_per_core_measured then
-    invalid_arg "Scaling_factor.fit: non-positive stalls per core";
+  let err cause = Diag.error ~stage:Diag.Translate ~subject:Trace.factor_subject cause in
+  if m = 0 then err (Diag.Short_series { points = 0; needed = 1 })
+  else if m <> Array.length times then
+    err (Diag.Mismatched_lengths { what = "times"; expected = m; got = Array.length times })
+  else if m <> Array.length stalls_per_core_measured then
+    err
+      (Diag.Mismatched_lengths
+         {
+           what = "stalls_per_core_measured";
+           expected = m;
+           got = Array.length stalls_per_core_measured;
+         })
+  else if Array.length stalls_per_core_grid <> Array.length target_grid then
+    err
+      (Diag.Mismatched_lengths
+         {
+           what = "stalls_per_core_grid";
+           expected = Array.length target_grid;
+           got = Array.length stalls_per_core_grid;
+         })
+  else begin
+    match
+      Array.to_seq stalls_per_core_measured
+      |> Seq.zip (Array.to_seq threads)
+      |> Seq.find (fun (_, s) -> s <= 0.0)
+    with
+    | Some (n, s) ->
+        err (Diag.Bad_value { what = Printf.sprintf "stalls per core at %g threads" n; value = s })
+    | None ->
   let factors = Array.init m (fun i -> times.(i) /. stalls_per_core_measured.(i)) in
   let target_max = target_grid.(Array.length target_grid - 1) in
   (* The factor translates stalled cycles per core into seconds; it drifts
@@ -190,12 +213,21 @@ let fit ?(config = Approximation.default_config) ~threads ~times ~stalls_per_cor
   match !best with
   | Some (fitted, correlation, rmse, prefix, kernel) ->
       trace_winner ~kernel ~prefix ~score:rmse ~correlation;
-      { fitted; correlation; measured_factors = factors }
+      Ok { fitted; correlation; measured_factors = factors }
   | None ->
       let fitted = constant_fit (median factors) in
       trace_winner ~kernel:fitted.Fit.kernel_name ~prefix:m ~score:Float.nan
         ~correlation:Float.nan;
-      { fitted; correlation = Float.nan; measured_factors = factors }
+      Ok { fitted; correlation = Float.nan; measured_factors = factors }
+  end
+
+let fit_exn ?config ~threads ~times ~stalls_per_core_measured ~stalls_per_core_grid ~target_grid
+    () =
+  match
+    fit ?config ~threads ~times ~stalls_per_core_measured ~stalls_per_core_grid ~target_grid ()
+  with
+  | Ok t -> t
+  | Error d -> Diag.raise_exn d (* exn-shim *)
 
 let predict_times t ~stalls_per_core_grid ~target_grid =
   predict_with t.fitted ~stalls_per_core_grid ~target_grid

@@ -29,17 +29,31 @@ val fit :
   stalls_per_core_grid:float array ->
   target_grid:float array ->
   unit ->
-  t
+  (t, Diag.t) result
 (** [times] are the measured execution times (already frequency-scaled
     when targeting a different machine).  Candidate factor fits come from
     the same prefix sweep as stall categories; unrealistic fits (poles,
     sign flips over the grid) are discarded.  Falls back to the median
-    measured factor (a constant) when nothing survives.  Raises
-    [Invalid_argument] on inconsistent lengths or non-positive stalls.
+    measured factor (a constant) when nothing survives, so once the inputs
+    validate the fit always succeeds.  [Error] cases (never raises):
+    inconsistent lengths ({!Diag.Short_series} /
+    {!Diag.Mismatched_lengths}) and non-positive stalls per core
+    ({!Diag.Bad_value}).
 
     When a trace sink is installed ({!Estima_obs.Trace}), every candidate
     is reported under the [factor-fit] stage, including the
     correlation-vs-RMSE tie-break decisions inside the correlation band. *)
+
+val fit_exn :
+  ?config:Approximation.config ->
+  threads:float array ->
+  times:float array ->
+  stalls_per_core_measured:float array ->
+  stalls_per_core_grid:float array ->
+  target_grid:float array ->
+  unit ->
+  t
+(** Legacy raising entry point: {!Diag.raise_exn} on [Error]. *)
 
 val predict_times : t -> stalls_per_core_grid:float array -> target_grid:float array -> float array
 (** [factor(n) * stalls_per_core(n)] over the grid. *)

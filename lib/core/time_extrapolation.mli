@@ -13,13 +13,30 @@ type t = {
 
 val predict :
   ?config:Approximation.config ->
+  ?subject:string ->
+  threads:float array ->
+  times:float array ->
+  target_max:int ->
+  ?frequency_scale:float ->
+  unit ->
+  (t, Diag.t) result
+(** [subject] names the workload in diagnostics and trace events (defaults
+    to ["series"]).  Never raises: empty or mismatched input, a
+    non-positive [frequency_scale] and a target below the measurement
+    window come back as [Error] ({!Diag.Short_series},
+    {!Diag.Mismatched_lengths}, {!Diag.Bad_value},
+    {!Diag.Target_below_window}); a series even the polynomial fallback
+    cannot fit realistically as [Error] with {!Diag.No_realistic_fit}. *)
+
+val predict_exn :
+  ?config:Approximation.config ->
+  ?subject:string ->
   threads:float array ->
   times:float array ->
   target_max:int ->
   ?frequency_scale:float ->
   unit ->
   t
-(** Raises [Invalid_argument] on empty input or a target below the
-    measurement window; falls back internally like
-    {!Approximation.approximate} and raises [Failure] only when even the
-    fallback is unrealistic. *)
+(** Legacy raising entry point: {!Diag.raise_exn} on [Error] — a
+    no-realistic-fit failure names the workload ([subject]) and the
+    measured window in its message. *)

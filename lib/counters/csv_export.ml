@@ -1,18 +1,48 @@
+(* Column names travel unquoted, so the writer refuses any name that
+   would need RFC-4180 quoting: a plugin named "a,b" would otherwise
+   silently corrupt the table. *)
+let valid_column_name name =
+  name <> ""
+  && String.for_all
+       (fun c ->
+         (c >= 'A' && c <= 'Z')
+         || (c >= 'a' && c <= 'z')
+         || (c >= '0' && c <= '9')
+         || c = '_' || c = '.' || c = '-')
+       name
+
+let check_column_name name =
+  if not (valid_column_name name) then
+    invalid_arg
+      (Printf.sprintf "Csv_export.series_to_csv: column name %S needs quoting (allowed: A-Za-z0-9_.-)"
+         name)
+
+(* %.17g: every float round-trips bit-for-bit through the text form,
+   which is what lets Series_io.parse invert this function exactly. *)
+let float_cell v = Printf.sprintf "%.17g" v
+
 let series_to_csv (series : Series.t) =
   let buffer = Buffer.create 1024 in
   let first = series.Series.samples.(0) in
   let counter_names = List.map fst first.Sample.counters in
   let software_names = List.map fst first.Sample.software in
+  List.iter check_column_name (counter_names @ software_names);
   Buffer.add_string buffer
     (String.concat ","
-       ([ "threads"; "time_seconds" ] @ counter_names @ software_names @ [ "footprint_lines" ]));
+       ([ "threads"; "time_seconds"; "cycles"; "useful_cycles" ]
+       @ counter_names @ software_names @ [ "footprint_lines" ]));
   Buffer.add_char buffer '\n';
   Array.iter
     (fun (s : Sample.t) ->
       let cells =
-        [ string_of_int s.Sample.threads; Printf.sprintf "%.9g" s.Sample.time_seconds ]
-        @ List.map (fun n -> Printf.sprintf "%.9g" (Sample.counter s n)) counter_names
-        @ List.map (fun n -> Printf.sprintf "%.9g" (Sample.counter s n)) software_names
+        [
+          string_of_int s.Sample.threads;
+          float_cell s.Sample.time_seconds;
+          float_cell s.Sample.cycles;
+          float_cell s.Sample.useful_cycles;
+        ]
+        @ List.map (fun n -> float_cell (Sample.counter s n)) counter_names
+        @ List.map (fun n -> float_cell (Sample.counter s n)) software_names
         @ [ string_of_int s.Sample.footprint_lines ]
       in
       Buffer.add_string buffer (String.concat "," cells);

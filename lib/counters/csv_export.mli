@@ -1,11 +1,14 @@
 (** CSV export of measurement series, for plotting the paper-style figures
-    with external tools (gnuplot, pandas, ...). *)
+    with external tools (gnuplot, pandas, ...) — and the exact format
+    {!Series_io.parse} reads back. *)
 
 val series_to_csv : Series.t -> string
 (** One row per measured core count; columns: [threads], [time_seconds],
-    every hardware counter, every software plugin, [footprint_lines].
-    RFC-4180-style quoting is unnecessary (all fields are numeric or
-    simple identifiers). *)
+    [cycles], [useful_cycles], every hardware counter, every software
+    plugin, [footprint_lines].  Floats are printed with [%.17g] so
+    [Series_io.parse] inverts this function bit-for-bit.  Fields travel
+    unquoted: raises [Invalid_argument] when a counter or plugin column
+    name strays outside [A-Za-z0-9_.-]. *)
 
 val prediction_to_csv :
   grid:float array -> columns:(string * float array) list -> string

@@ -47,14 +47,14 @@ let scan_line ~prefix ~suffix line =
       && is_number_char line.[start]
       && (start = 0 || not (is_number_char line.[start - 1]))
   in
-  let rec find_from start =
-    if start >= String.length line then None
+  let rec find_from acc start =
+    if start >= String.length line then List.rev acc
     else if candidate start then begin
       let stop = ref (start + plen) in
       while !stop < String.length line && is_number_char line.[!stop] do
         incr stop
       done;
-      if !stop = start + plen then find_from (start + 1)
+      if !stop = start + plen then find_from acc (start + 1)
       else
         let number = String.sub line (start + plen) (!stop - start - plen) in
         let rest_ok =
@@ -63,17 +63,20 @@ let scan_line ~prefix ~suffix line =
              && String.sub line !stop (String.length suffix) = suffix
         in
         match (rest_ok, float_of_string_opt number) with
-        | true, (Some _ as v) -> v
-        | _ -> find_from (start + 1)
+        | true, Some v ->
+            (* Resume after the captured number so a line holding several
+               values yields all of them, left to right. *)
+            find_from (v :: acc) !stop
+        | _ -> find_from acc (start + 1)
     end
-    else find_from (start + 1)
+    else find_from acc (start + 1)
   in
-  find_from 0
+  find_from [] 0
 
 let scan ~expression text =
   let prefix, suffix = split_expression expression in
   String.split_on_char '\n' text
-  |> List.filter_map (fun line -> scan_line ~prefix ~suffix line)
+  |> List.concat_map (fun line -> scan_line ~prefix ~suffix line)
 
 let write_to ~path result =
   let oc = open_out path in

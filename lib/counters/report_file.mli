@@ -17,7 +17,8 @@ val scan : expression:string -> string -> float list
 (** [scan ~expression text] returns every number captured by [expression]
     in [text], in order.  The expression is the paper's simple pattern
     syntax: literal text with a single [%d] marking where the value is,
-    e.g. ["stm-abort-cycles %d"].  Matching is per line; raises
+    e.g. ["stm-abort-cycles %d"].  Matching is per line, and a line
+    holding several matches yields all of them, left to right; raises
     [Invalid_argument] if the expression contains no (or several) [%d]. *)
 
 val write_to : path:string -> Estima_sim.Engine.result -> unit

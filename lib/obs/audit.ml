@@ -63,6 +63,11 @@ let of_events events =
       | Trace.Note { stage; subject; text } ->
           let a = get stage subject in
           a.rev_notes <- text :: a.rev_notes
+      | Trace.Diagnostic { stage; subject; cause; detail } ->
+          (* Failures surface in the audit table as notes, so a record for
+             a stage that died still explains itself. *)
+          let a = get stage subject in
+          a.rev_notes <- Printf.sprintf "diagnostic[%s]: %s" cause detail :: a.rev_notes
       | Trace.Fit_attempt _ -> ())
     events;
   List.rev_map

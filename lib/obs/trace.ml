@@ -53,6 +53,7 @@ type payload =
       correlation : float;
     }
   | Note of { stage : string; subject : string; text : string }
+  | Diagnostic of { stage : string; subject : string; cause : string; detail : string }
 
 type event = { seq : int; at_ns : int64; span : string list; payload : payload }
 

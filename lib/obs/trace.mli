@@ -72,6 +72,13 @@ type payload =
       correlation : float;  (** [nan] when the stage has no correlation criterion. *)
     }  (** The candidate finally chosen for a subject. *)
   | Note of { stage : string; subject : string; text : string }
+  | Diagnostic of { stage : string; subject : string; cause : string; detail : string }
+      (** A stage of the prediction pipeline failed: [stage] is the
+          pipeline stage label (collect / extrapolate / translate),
+          [cause] the machine-readable cause label, [detail] the rendered
+          human message.  Emitted by {!Estima.Diag} just before a stage
+          returns [Error], so a [--trace] of a failed prediction shows
+          {e why} it failed alongside the candidate decisions. *)
 
 type event = {
   seq : int;  (** Monotonically increasing per-domain sequence number. *)

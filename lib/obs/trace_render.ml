@@ -65,6 +65,9 @@ let pp_event ppf (e : Trace.event) =
         (if Float.is_finite correlation then Printf.sprintf " corr=%.4f" correlation else "")
   | Trace.Note { stage; subject; text } ->
       Format.fprintf ppf "#%-4d %s[%s] %s: %s" e.Trace.seq where stage subject text
+  | Trace.Diagnostic { stage; subject; cause; detail } ->
+      Format.fprintf ppf "#%-4d %s[%s] %s: DIAGNOSTIC %s: %s" e.Trace.seq where stage subject cause
+        detail
 
 let pp_events ppf events =
   Format.fprintf ppf "@[<v>";
@@ -205,6 +208,15 @@ let json_payload buf (p : Trace.payload) =
   | Trace.Note { stage; subject; text } ->
       json_fields buf
         [ ("type", str "note"); ("stage", str stage); ("subject", str subject); ("text", str text) ]
+  | Trace.Diagnostic { stage; subject; cause; detail } ->
+      json_fields buf
+        [
+          ("type", str "diagnostic");
+          ("stage", str stage);
+          ("subject", str subject);
+          ("cause", str cause);
+          ("detail", str detail);
+        ]
 
 let json_event buf (e : Trace.event) =
   json_fields buf

@@ -55,7 +55,7 @@ let aggregate_row name =
   let series =
     aggregate_series (Lab.measure ~entry ~machine:Lab.opteron_1socket ~max_threads:12 ())
   in
-  let agg = Predictor.predict ~series ~target_max:48 () in
+  let agg = Lab.ok (Predictor.predict ~series ~target_max:48 ()) in
   {
     name;
     fine_grain_error = error_of fine truth;
@@ -76,7 +76,7 @@ let sensitivity_row name =
         approximation = { Approximation.checkpoints; min_prefix };
       }
     in
-    error_of (Predictor.predict ~config ~series ~target_max:48 ()) truth
+    error_of (Lab.ok (Predictor.predict ~config ~series ~target_max:48 ())) truth
   in
   {
     name;

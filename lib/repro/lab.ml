@@ -113,6 +113,10 @@ let sweep ?(seed = 42) ~entry ~machine () =
 let sweep_threads ?(seed = 42) ~entry ~machine ~max_threads () =
   collect_cached ~seed:(seed + truth_seed_offset) ~entry ~machine ~max_threads
 
+(* The repro harness runs on known-good suite inputs, so a pipeline
+   diagnostic here is a bug in the harness itself — escalate it. *)
+let ok = function Ok v -> v | Error d -> failwith (Diag.render d)
+
 let predict ?software ?(checkpoints = Approximation.default_config.Approximation.checkpoints)
     ?(dataset_factor = 1.0) ?target_threads ~entry ~measure_machine ~measure_max ~target_machine () =
   let series = measure ~entry ~machine:measure_machine ~max_threads:measure_max () in
@@ -132,7 +136,8 @@ let predict ?software ?(checkpoints = Approximation.default_config.Approximation
   if trace_enabled () then begin
     let recorder = Estima_obs.Recorder.create () in
     let prediction =
-      Estima_obs.Recorder.record recorder (fun () -> Predictor.predict ~config ~series ~target_max ())
+      Estima_obs.Recorder.record recorder (fun () ->
+          ok (Predictor.predict ~config ~series ~target_max ()))
     in
     Render.printf "\n[trace] %s: %s -> %s (%d cores)\n"
       entry.Suite.spec.Estima_sim.Spec.name measure_machine.Topology.name
@@ -140,7 +145,7 @@ let predict ?software ?(checkpoints = Approximation.default_config.Approximation
     Render.audit_summary (Estima_obs.Audit.of_events (Estima_obs.Recorder.events recorder));
     prediction
   end
-  else Predictor.predict ~config ~series ~target_max ()
+  else ok (Predictor.predict ~config ~series ~target_max ())
 
 let errors_against_truth ~prediction ~truth ?(from_threads = 1) () =
   Error.evaluate ~predicted:prediction.Predictor.predicted_times ~measured:(Series.times truth)
@@ -153,9 +158,11 @@ let max_error_upto (error : Error.t) ~threads =
 
 let baseline ~entry ~measure_machine ~measure_max ~target_machine () =
   let series = measure ~entry ~machine:measure_machine ~max_threads:measure_max () in
-  Time_extrapolation.predict ~threads:(Series.threads series) ~times:(Series.times series)
-    ~target_max:(Topology.cores target_machine)
-    ~frequency_scale:(Frequency.time_scale ~measured_on:measure_machine ~target:target_machine)
-    ()
+  ok
+    (Time_extrapolation.predict ~subject:series.Series.spec_name ~threads:(Series.threads series)
+       ~times:(Series.times series)
+       ~target_max:(Topology.cores target_machine)
+       ~frequency_scale:(Frequency.time_scale ~measured_on:measure_machine ~target:target_machine)
+       ())
 
 let cache_stats () = (!hits, !misses)

@@ -14,6 +14,11 @@ val opteron_2sockets : Topology.t
 val repetitions : int
 (** Averaged simulator runs per measured point (5). *)
 
+val ok : ('a, Diag.t) result -> 'a
+(** Unwrap a pipeline stage result.  The repro experiments run on
+    known-good suite inputs, so a diagnostic is a harness bug: raises
+    [Failure] with the rendered diagnostic. *)
+
 val measure : ?seed:int -> entry:Suite.entry -> machine:Topology.t -> max_threads:int -> unit -> Series.t
 (** Cached collection at 1..max_threads. *)
 

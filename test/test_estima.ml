@@ -17,6 +17,15 @@ let collect ?(plugins = []) ?(machine = opteron1s) ?(max = 12) spec =
     ~thread_counts:(Collector.default_thread_counts ~max)
     ()
 
+let ok_or_fail what = function
+  | Ok v -> v
+  | Error d -> Alcotest.failf "%s: %s" what (Diag.render d)
+
+(* Checks that a pipeline stage refused with the expected typed cause. *)
+let expect_cause what expected = function
+  | Ok _ -> Alcotest.failf "%s: accepted" what
+  | Error d -> Alcotest.(check string) what expected (Diag.cause_label d.Diag.cause)
+
 (* ------------------------------------------------------------------ *)
 (* Approximation                                                       *)
 (* ------------------------------------------------------------------ *)
@@ -31,8 +40,8 @@ let test_approximate_recovers_generator () =
   let xs = Array.init 12 (fun i -> float_of_int (i + 1)) in
   let ys = Array.map f xs in
   match Approximation.approximate ~xs ~ys ~target_max:48.0 ~require_nonnegative:true () with
-  | None -> Alcotest.fail "no fit"
-  | Some choice ->
+  | Error d -> Alcotest.failf "no fit: %s" (Diag.render d)
+  | Ok choice ->
       let predicted = choice.Approximation.fitted.Estima_kernels.Fit.eval 48.0 in
       let actual = f 48.0 in
       if Float.abs (predicted -. actual) > 0.15 *. actual then
@@ -43,8 +52,8 @@ let test_approximate_flat_stays_flat () =
   let xs = Array.init 12 (fun i -> float_of_int (i + 1)) in
   let ys = Array.mapi (fun i _ -> 1e6 *. (1.0 +. (0.01 *. sin (float_of_int i)))) xs in
   match Approximation.approximate ~xs ~ys ~target_max:48.0 ~require_nonnegative:true () with
-  | None -> Alcotest.fail "no fit"
-  | Some choice ->
+  | Error d -> Alcotest.failf "no fit: %s" (Diag.render d)
+  | Ok choice ->
       let predicted = choice.Approximation.fitted.Estima_kernels.Fit.eval 48.0 in
       if predicted > 3e6 || predicted < 0.3e6 then Alcotest.failf "flat series drifted to %.3g" predicted
 
@@ -53,8 +62,8 @@ let test_approximate_growing_keeps_growing () =
   let xs = Array.init 12 (fun i -> float_of_int (i + 1)) in
   let ys = Array.map (fun x -> 1e4 *. x *. x) xs in
   match Approximation.approximate ~xs ~ys ~target_max:48.0 ~require_nonnegative:true () with
-  | None -> Alcotest.fail "no fit"
-  | Some choice ->
+  | Error d -> Alcotest.failf "no fit: %s" (Diag.render d)
+  | Ok choice ->
       let at_window = choice.Approximation.fitted.Estima_kernels.Fit.eval 12.0 in
       let at_target = choice.Approximation.fitted.Estima_kernels.Fit.eval 48.0 in
       if at_target < 2.0 *. at_window then
@@ -64,19 +73,24 @@ let test_approximate_short_series_fallback () =
   (* Three points (the paper's memcached case) use the polynomial fallback. *)
   let xs = [| 1.0; 2.0; 3.0 |] and ys = [| 10.0; 14.0; 20.0 |] in
   match Approximation.approximate ~xs ~ys ~target_max:20.0 ~require_nonnegative:true () with
-  | None -> Alcotest.fail "no fallback fit"
-  | Some choice ->
+  | Error d -> Alcotest.failf "no fallback fit: %s" (Diag.render d)
+  | Ok choice ->
       Alcotest.(check string) "fallback kernel" Approximation.fallback_kernel_name
         choice.Approximation.fitted.Estima_kernels.Fit.kernel_name
 
 let test_approximate_rejects_bad_config () =
-  (try
-     ignore
-       (Approximation.approximate
-          ~config:{ Approximation.checkpoints = 0; min_prefix = 3 }
-          ~xs:[| 1.0 |] ~ys:[| 1.0 |] ~target_max:4.0 ~require_nonnegative:false ());
-     Alcotest.fail "bad config accepted"
-   with Invalid_argument _ -> ())
+  expect_cause "bad config refused" "bad-config"
+    (Approximation.approximate
+       ~config:{ Approximation.checkpoints = 0; min_prefix = 3 }
+       ~xs:[| 1.0 |] ~ys:[| 1.0 |] ~target_max:4.0 ~require_nonnegative:false ());
+  (* The legacy wrapper still raises for scripts on the old API. *)
+  try
+    ignore
+      (Approximation.approximate_exn
+         ~config:{ Approximation.checkpoints = 0; min_prefix = 3 }
+         ~xs:[| 1.0 |] ~ys:[| 1.0 |] ~target_max:4.0 ~require_nonnegative:false ());
+    Alcotest.fail "bad config accepted by _exn"
+  with Invalid_argument _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Extrapolation                                                       *)
@@ -84,15 +98,19 @@ let test_approximate_rejects_bad_config () =
 
 let intruder_series ?(plugins = [ Plugin.swisstm ]) () = collect ~plugins (entry "intruder").Suite.spec
 
+let extrapolate_ok ?config ~series ~target_max ~include_software ~include_frontend () =
+  ok_or_fail "extrapolate"
+    (Extrapolation.extrapolate ?config ~series ~target_max ~include_software ~include_frontend ())
+
 let test_extrapolation_all_categories_fitted () =
   let series = intruder_series () in
-  let e = Extrapolation.extrapolate ~series ~target_max:48 ~include_software:true ~include_frontend:false () in
+  let e = extrapolate_ok ~series ~target_max:48 ~include_software:true ~include_frontend:false () in
   Alcotest.(check int) "5 hw + 1 sw categories" 6 (List.length e.Extrapolation.fits);
   Alcotest.(check int) "grid to 48" 48 (Array.length e.Extrapolation.target_grid)
 
 let test_extrapolation_software_toggle () =
   let series = intruder_series () in
-  let no_sw = Extrapolation.extrapolate ~series ~target_max:48 ~include_software:false ~include_frontend:false () in
+  let no_sw = extrapolate_ok ~series ~target_max:48 ~include_software:false ~include_frontend:false () in
   Alcotest.(check int) "hw only" 5 (List.length no_sw.Extrapolation.fits);
   Alcotest.(check bool) "stm-abort absent" true
     (match Extrapolation.category_values no_sw "stm-abort" with
@@ -101,14 +119,14 @@ let test_extrapolation_software_toggle () =
 
 let test_extrapolation_stalls_per_core_positive () =
   let series = intruder_series () in
-  let e = Extrapolation.extrapolate ~series ~target_max:48 ~include_software:true ~include_frontend:false () in
+  let e = extrapolate_ok ~series ~target_max:48 ~include_software:true ~include_frontend:false () in
   Array.iter
     (fun v -> if v < 0.0 || not (Float.is_finite v) then Alcotest.failf "bad stalls per core %g" v)
     (Extrapolation.stalls_per_core e)
 
 let test_extrapolation_dominant_categories () =
   let series = intruder_series () in
-  let e = Extrapolation.extrapolate ~series ~target_max:48 ~include_software:true ~include_frontend:false () in
+  let e = extrapolate_ok ~series ~target_max:48 ~include_software:true ~include_frontend:false () in
   let shares = Extrapolation.dominant_categories e ~at:48.0 in
   let total = List.fold_left (fun acc (_, s) -> acc +. s) 0.0 shares in
   Alcotest.(check (float 1e-9)) "shares sum to 1" 1.0 total;
@@ -126,19 +144,28 @@ let test_extrapolation_zero_fit () =
 
 let test_extrapolation_empty_series_rejected () =
   let empty = { Series.machine = opteron1s; spec_name = "empty"; samples = [||] } in
-  match
-    Extrapolation.extrapolate ~series:empty ~target_max:8 ~include_software:false
-      ~include_frontend:false ()
-  with
-  | _ -> Alcotest.fail "empty series accepted"
-  | exception Invalid_argument msg ->
+  (match
+     Extrapolation.extrapolate ~series:empty ~target_max:8 ~include_software:false
+       ~include_frontend:false ()
+   with
+  | Ok _ -> Alcotest.fail "empty series accepted"
+  | Error d ->
+      Alcotest.(check string) "typed cause" "short-series" (Diag.cause_label d.Diag.cause);
+      let msg = Diag.render d in
       let contains needle =
         let nl = String.length needle and tl = String.length msg in
         let rec scan i = i + nl <= tl && (String.sub msg i nl = needle || scan (i + 1)) in
         scan 0
       in
       Alcotest.(check bool) (Printf.sprintf "message %S names the problem" msg) true
-        (contains "no samples")
+        (contains "too short"));
+  (* The legacy wrapper converts the diagnostic back to an exception. *)
+  try
+    ignore
+      (Extrapolation.extrapolate_exn ~series:empty ~target_max:8 ~include_software:false
+         ~include_frontend:false ());
+    Alcotest.fail "empty series accepted by _exn"
+  with Invalid_argument _ -> ()
 
 let synthetic_sample ~threads ~counters ~software =
   {
@@ -166,7 +193,7 @@ let test_extrapolation_software_union_across_samples () =
     Series.make ~machine:opteron1s ~spec_name:"disagreeing" (List.init 8 (fun i -> sample (i + 1)))
   in
   let no_sw =
-    Extrapolation.extrapolate ~series ~target_max:16 ~include_software:false ~include_frontend:false ()
+    extrapolate_ok ~series ~target_max:16 ~include_software:false ~include_frontend:false ()
   in
   Alcotest.(check (list string)) "only the hardware category survives" [ "0D2h" ]
     (List.map (fun f -> f.Extrapolation.category) no_sw.Extrapolation.fits);
@@ -174,7 +201,7 @@ let test_extrapolation_software_union_across_samples () =
   | exception Not_found -> ()
   | _ -> Alcotest.fail "software category leaked through the union filter");
   let with_sw =
-    Extrapolation.extrapolate ~series ~target_max:16 ~include_software:true ~include_frontend:false ()
+    extrapolate_ok ~series ~target_max:16 ~include_software:true ~include_frontend:false ()
   in
   Alcotest.(check int) "both categories with software on" 2 (List.length with_sw.Extrapolation.fits)
 
@@ -214,10 +241,31 @@ let test_extrapolation_clamps_categories_and_total () =
 
 let test_extrapolation_target_below_window_rejected () =
   let series = intruder_series () in
-  (try
-     ignore (Extrapolation.extrapolate ~series ~target_max:6 ~include_software:false ~include_frontend:false ());
-     Alcotest.fail "target below window accepted"
-   with Invalid_argument _ -> ())
+  expect_cause "target below window refused" "target-below-window"
+    (Extrapolation.extrapolate ~series ~target_max:6 ~include_software:false ~include_frontend:false ())
+
+let test_extrapolation_missing_category_reported () =
+  (* A counter present at some thread counts but absent at others is a
+     malformed series: the diagnostic names the category and the first
+     thread count where it is missing. *)
+  let sample n =
+    let counters =
+      ("0D2h", 600.0 *. float_of_int n) :: (if n <= 4 then [ ("0D5h", 10.0) ] else [])
+    in
+    synthetic_sample ~threads:n ~counters ~software:[]
+  in
+  let series =
+    Series.make ~machine:opteron1s ~spec_name:"holey" (List.init 8 (fun i -> sample (i + 1)))
+  in
+  match Extrapolation.extrapolate ~series ~target_max:16 ~include_software:false ~include_frontend:false () with
+  | Ok _ -> Alcotest.fail "hole in the series accepted"
+  | Error d -> (
+      Alcotest.(check string) "typed cause" "missing-category" (Diag.cause_label d.Diag.cause);
+      match d.Diag.cause with
+      | Diag.Missing_category { category; threads } ->
+          Alcotest.(check string) "category named" "0D5h" category;
+          Alcotest.(check int) "first hole named" 5 threads
+      | _ -> Alcotest.fail "wrong cause payload")
 
 (* ------------------------------------------------------------------ *)
 (* Scaling factor                                                      *)
@@ -231,8 +279,9 @@ let test_scaling_factor_constant_data () =
   let grid = Array.init 16 (fun i -> float_of_int (i + 1)) in
   let spc_grid = Array.map (fun n -> 100.0 /. n) grid in
   let f =
-    Scaling_factor.fit ~threads ~times ~stalls_per_core_measured:spc ~stalls_per_core_grid:spc_grid
-      ~target_grid:grid ()
+    ok_or_fail "factor fit"
+      (Scaling_factor.fit ~threads ~times ~stalls_per_core_measured:spc ~stalls_per_core_grid:spc_grid
+         ~target_grid:grid ())
   in
   let predicted = Scaling_factor.predict_times f ~stalls_per_core_grid:spc_grid ~target_grid:grid in
   Array.iteri
@@ -244,7 +293,7 @@ let test_scaling_factor_constant_data () =
 
 let test_scaling_factor_correlation_high () =
   let series = intruder_series () in
-  let p = Predictor.predict ~series ~target_max:48 () in
+  let p = ok_or_fail "predict" (Predictor.predict ~series ~target_max:48 ()) in
   if Float.is_finite p.Predictor.factor.Scaling_factor.correlation then
     Alcotest.(check bool) "correlation above 0.9" true
       (p.Predictor.factor.Scaling_factor.correlation > 0.9)
@@ -264,9 +313,10 @@ let test_scaling_factor_tie_break_reports_winner_correlation () =
   let spc_grid = Array.map (fun n -> 100.0 /. n) grid in
   let recorder = Estima_obs.Recorder.create () in
   let f =
-    Estima_obs.Recorder.record recorder (fun () ->
-        Scaling_factor.fit ~threads ~times ~stalls_per_core_measured:spc
-          ~stalls_per_core_grid:spc_grid ~target_grid:grid ())
+    ok_or_fail "factor fit"
+      (Estima_obs.Recorder.record recorder (fun () ->
+           Scaling_factor.fit ~threads ~times ~stalls_per_core_measured:spc
+             ~stalls_per_core_grid:spc_grid ~target_grid:grid ()))
   in
   (* Guard: this data must actually exercise the tie-break branch, and the
      fit it selected must be the final winner — otherwise the assertion
@@ -298,13 +348,18 @@ let test_scaling_factor_tie_break_reports_winner_correlation () =
     f.Scaling_factor.correlation
 
 let test_scaling_factor_rejects_nonpositive_stalls () =
-  (try
-     ignore
-       (Scaling_factor.fit ~threads:[| 1.0; 2.0 |] ~times:[| 1.0; 1.0 |]
-          ~stalls_per_core_measured:[| 1.0; 0.0 |] ~stalls_per_core_grid:[| 1.0; 1.0 |]
-          ~target_grid:[| 1.0; 2.0 |] ());
-     Alcotest.fail "accepted zero stalls"
-   with Invalid_argument _ -> ())
+  expect_cause "zero stalls refused" "bad-value"
+    (Scaling_factor.fit ~threads:[| 1.0; 2.0 |] ~times:[| 1.0; 1.0 |]
+       ~stalls_per_core_measured:[| 1.0; 0.0 |] ~stalls_per_core_grid:[| 1.0; 1.0 |]
+       ~target_grid:[| 1.0; 2.0 |] ());
+  (* The legacy wrapper still raises for scripts on the old API. *)
+  try
+    ignore
+      (Scaling_factor.fit_exn ~threads:[| 1.0; 2.0 |] ~times:[| 1.0; 1.0 |]
+         ~stalls_per_core_measured:[| 1.0; 0.0 |] ~stalls_per_core_grid:[| 1.0; 1.0 |]
+         ~target_grid:[| 1.0; 2.0 |] ());
+    Alcotest.fail "accepted zero stalls via _exn"
+  with Invalid_argument _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Predictor                                                           *)
@@ -312,7 +367,7 @@ let test_scaling_factor_rejects_nonpositive_stalls () =
 
 let test_predictor_grid_and_window () =
   let series = intruder_series () in
-  let p = Predictor.predict ~series ~target_max:48 () in
+  let p = ok_or_fail "predict" (Predictor.predict ~series ~target_max:48 ()) in
   Alcotest.(check int) "measured window" 12 (Predictor.measured_window p);
   Alcotest.(check int) "48 predictions" 48 (Array.length p.Predictor.predicted_times);
   Alcotest.(check (float 1e-12)) "accessor" p.Predictor.predicted_times.(23)
@@ -326,8 +381,10 @@ let test_predictor_matches_measured_region () =
   (* Within the measurement window the prediction should track the
      measured times closely. *)
   let series = intruder_series () in
-  let p = Predictor.predict ~config:{ Predictor.default_config with Predictor.include_software = true }
-      ~series ~target_max:48 ()
+  let p =
+    ok_or_fail "predict"
+      (Predictor.predict ~config:{ Predictor.default_config with Predictor.include_software = true }
+         ~series ~target_max:48 ())
   in
   let times = Series.times series in
   Array.iteri
@@ -339,11 +396,12 @@ let test_predictor_matches_measured_region () =
 
 let test_predictor_frequency_scaling () =
   let series = intruder_series () in
-  let base = Predictor.predict ~series ~target_max:48 () in
+  let base = ok_or_fail "predict" (Predictor.predict ~series ~target_max:48 ()) in
   let scaled =
-    Predictor.predict
-      ~config:{ Predictor.default_config with Predictor.frequency_scale = 2.0 }
-      ~series ~target_max:48 ()
+    ok_or_fail "predict scaled"
+      (Predictor.predict
+         ~config:{ Predictor.default_config with Predictor.frequency_scale = 2.0 }
+         ~series ~target_max:48 ())
   in
   (* Doubling the time scale must roughly double predictions. *)
   let ratio = scaled.Predictor.predicted_times.(20) /. base.Predictor.predicted_times.(20) in
@@ -351,31 +409,37 @@ let test_predictor_frequency_scaling () =
 
 let test_predictor_dataset_factor () =
   let series = intruder_series () in
-  let base = Predictor.predict ~series ~target_max:48 () in
+  let base = ok_or_fail "predict" (Predictor.predict ~series ~target_max:48 ()) in
   let scaled =
-    Predictor.predict
-      ~config:{ Predictor.default_config with Predictor.dataset_factor = 2.0 }
-      ~series ~target_max:48 ()
+    ok_or_fail "predict scaled"
+      (Predictor.predict
+         ~config:{ Predictor.default_config with Predictor.dataset_factor = 2.0 }
+         ~series ~target_max:48 ())
   in
   let ratio = scaled.Predictor.predicted_times.(20) /. base.Predictor.predicted_times.(20) in
   if ratio < 1.2 then Alcotest.failf "dataset factor not applied: ratio %.2f" ratio
 
 let test_predictor_category_kernels_reported () =
   let series = intruder_series () in
-  let p = Predictor.predict ~series ~target_max:48 () in
+  let p = ok_or_fail "predict" (Predictor.predict ~series ~target_max:48 ()) in
   let kernels = Predictor.category_kernels p in
   Alcotest.(check int) "five hw categories" 5 (List.length kernels);
   List.iter (fun (_, k) -> Alcotest.(check bool) "kernel named" true (String.length k > 0)) kernels
 
 let test_predictor_invalid_config () =
   let series = intruder_series () in
-  (try
-     ignore
-       (Predictor.predict
-          ~config:{ Predictor.default_config with Predictor.frequency_scale = 0.0 }
-          ~series ~target_max:48 ());
-     Alcotest.fail "zero frequency scale accepted"
-   with Invalid_argument _ -> ())
+  expect_cause "zero frequency scale refused" "bad-config"
+    (Predictor.predict
+       ~config:{ Predictor.default_config with Predictor.frequency_scale = 0.0 }
+       ~series ~target_max:48 ());
+  (* The legacy wrapper still raises for scripts on the old API. *)
+  try
+    ignore
+      (Predictor.predict_exn
+         ~config:{ Predictor.default_config with Predictor.frequency_scale = 0.0 }
+         ~series ~target_max:48 ());
+    Alcotest.fail "zero frequency scale accepted by _exn"
+  with Invalid_argument _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Time extrapolation baseline                                         *)
@@ -384,7 +448,7 @@ let test_predictor_invalid_config () =
 let test_time_extrapolation_basic () =
   let threads = Array.init 12 (fun i -> float_of_int (i + 1)) in
   let times = Array.map (fun n -> 1.0 /. n) threads in
-  let t = Time_extrapolation.predict ~threads ~times ~target_max:48 () in
+  let t = ok_or_fail "baseline" (Time_extrapolation.predict ~threads ~times ~target_max:48 ()) in
   Alcotest.(check int) "grid" 48 (Array.length t.Time_extrapolation.predicted_times);
   (* A perfectly scaling curve stays decreasing. *)
   let p = t.Time_extrapolation.predicted_times in
@@ -393,8 +457,11 @@ let test_time_extrapolation_basic () =
 let test_time_extrapolation_frequency () =
   let threads = Array.init 12 (fun i -> float_of_int (i + 1)) in
   let times = Array.map (fun n -> 1.0 /. n) threads in
-  let a = Time_extrapolation.predict ~threads ~times ~target_max:24 () in
-  let b = Time_extrapolation.predict ~threads ~times ~target_max:24 ~frequency_scale:2.0 () in
+  let a = ok_or_fail "baseline" (Time_extrapolation.predict ~threads ~times ~target_max:24 ()) in
+  let b =
+    ok_or_fail "baseline scaled"
+      (Time_extrapolation.predict ~threads ~times ~target_max:24 ~frequency_scale:2.0 ())
+  in
   let ratio = b.Time_extrapolation.predicted_times.(5) /. a.Time_extrapolation.predicted_times.(5) in
   if Float.abs (ratio -. 2.0) > 0.2 then Alcotest.failf "frequency scale off: %.2f" ratio
 
@@ -449,8 +516,9 @@ let test_bottleneck_intruder_stm () =
      aborted transactions (the Section 4.6 finding). *)
   let series = intruder_series () in
   let p =
-    Predictor.predict ~config:{ Predictor.default_config with Predictor.include_software = true }
-      ~series ~target_max:48 ()
+    ok_or_fail "predict"
+      (Predictor.predict ~config:{ Predictor.default_config with Predictor.include_software = true }
+         ~series ~target_max:48 ())
   in
   let analysis = Bottleneck.analyze p in
   let top3 = List.filteri (fun i _ -> i < 3) analysis.Bottleneck.findings in
@@ -464,8 +532,9 @@ let test_bottleneck_intruder_stm () =
 let test_bottleneck_streamcluster_sync () =
   let series = collect ~plugins:[ Plugin.pthread_wrapper ] (entry "streamcluster").Suite.spec in
   let p =
-    Predictor.predict ~config:{ Predictor.default_config with Predictor.include_software = true }
-      ~series ~target_max:48 ()
+    ok_or_fail "predict"
+      (Predictor.predict ~config:{ Predictor.default_config with Predictor.include_software = true }
+         ~series ~target_max:48 ())
   in
   let analysis = Bottleneck.analyze p in
   let sync = List.find_opt (fun f -> f.Bottleneck.category = "pthread-sync") analysis.Bottleneck.findings in
@@ -487,7 +556,7 @@ let test_experiment_runs_end_to_end () =
     Experiment.default_setup ~entry:(entry "blackscholes") ~measure_machine:opteron1s
       ~target_machine:Machines.opteron48
   in
-  let o = Experiment.run setup in
+  let o = ok_or_fail "experiment" (Experiment.run setup) in
   Alcotest.(check bool) "verdicts agree for blackscholes" true o.Experiment.error.Error.verdict_agrees;
   Alcotest.(check bool) "error under 30%" true (o.Experiment.error.Error.max_error < 0.30);
   Alcotest.(check int) "truth sweeps full machine" 48 (Array.length o.Experiment.truth.Series.samples)
@@ -497,7 +566,7 @@ let test_experiment_max_error_from () =
     Experiment.default_setup ~entry:(entry "blackscholes") ~measure_machine:opteron1s
       ~target_machine:Machines.opteron48
   in
-  let o = Experiment.run setup in
+  let o = ok_or_fail "experiment" (Experiment.run setup) in
   let all = Experiment.max_error_from o ~from_threads:1 in
   let tail = Experiment.max_error_from o ~from_threads:13 in
   Alcotest.(check bool) "restricting cannot raise the max" true (tail <= all +. 1e-12)
@@ -509,7 +578,7 @@ let test_experiment_cross_machine_frequency () =
       ~target_machine:Machines.xeon20
   in
   let setup = { setup with Experiment.measure_threads = [ 1; 2; 3 ] } in
-  let o = Experiment.run setup in
+  let o = ok_or_fail "experiment" (Experiment.run setup) in
   Alcotest.(check (float 1e-9)) "frequency scale recorded" (3.4 /. 2.8)
     o.Experiment.prediction.Predictor.config.Predictor.frequency_scale
 
@@ -530,6 +599,7 @@ let suite =
     ("extrapolation software union across samples", `Quick, test_extrapolation_software_union_across_samples);
     ("extrapolation clamps categories and total", `Quick, test_extrapolation_clamps_categories_and_total);
     ("extrapolation target below window rejected", `Quick, test_extrapolation_target_below_window_rejected);
+    ("extrapolation missing category reported", `Quick, test_extrapolation_missing_category_reported);
     ("scaling factor constant data", `Quick, test_scaling_factor_constant_data);
     ("scaling factor correlation high", `Quick, test_scaling_factor_correlation_high);
     ( "scaling factor tie-break reports winner correlation",

@@ -10,6 +10,7 @@ let () =
       ("counters", Test_counters.suite);
       ("workloads", Test_workloads.suite);
       ("estima", Test_estima.suite);
+      ("diag", Test_diag.suite);
       ("obs", Test_obs.suite);
       ("par", Test_par.suite);
       ("repro", Test_repro.suite);

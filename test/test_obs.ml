@@ -150,10 +150,15 @@ let test_gate_names () =
 (* Renderers                                                           *)
 (* ------------------------------------------------------------------ *)
 
+let predict_ok ~series ~target_max =
+  match Predictor.predict ~series ~target_max () with
+  | Ok p -> p
+  | Error d -> Alcotest.failf "predict: %s" (Diag.render d)
+
 let recorded_prediction () =
   let r = Recorder.create () in
   let p =
-    Recorder.record r (fun () -> Predictor.predict ~series:(synthetic_series ()) ~target_max:20 ())
+    Recorder.record r (fun () -> predict_ok ~series:(synthetic_series ()) ~target_max:20)
   in
   (r, p)
 
@@ -206,9 +211,9 @@ let test_json_escapes_strings () =
 
 let test_predictions_byte_identical_with_tracing () =
   let series = synthetic_series () in
-  let plain = Predictor.predict ~series ~target_max:20 () in
+  let plain = predict_ok ~series ~target_max:20 in
   let r = Recorder.create () in
-  let traced = Recorder.record r (fun () -> Predictor.predict ~series ~target_max:20 ()) in
+  let traced = Recorder.record r (fun () -> predict_ok ~series ~target_max:20) in
   Alcotest.(check bool) "events were recorded" true (Recorder.events r <> []);
   Array.iteri
     (fun i t ->
@@ -223,10 +228,10 @@ let test_predictions_byte_identical_with_tracing () =
 
 let test_predictor_attaches_audit_only_when_traced () =
   let series = synthetic_series () in
-  let plain = Predictor.predict ~series ~target_max:20 () in
+  let plain = predict_ok ~series ~target_max:20 in
   Alcotest.(check bool) "no audit without sink" true (plain.Predictor.audit = None);
   let r = Recorder.create () in
-  let traced = Recorder.record r (fun () -> Predictor.predict ~series ~target_max:20 ()) in
+  let traced = Recorder.record r (fun () -> predict_ok ~series ~target_max:20) in
   match traced.Predictor.audit with
   | None -> Alcotest.fail "audit missing under tracing"
   | Some audit ->

@@ -41,10 +41,14 @@ let collect_entry entry =
     ()
 
 let predict_entry entry series =
-  Predictor.predict
-    ~config:
-      { Predictor.default_config with Predictor.include_software = entry.Suite.plugins <> [] }
-    ~series ~target_max:48 ()
+  match
+    Predictor.predict
+      ~config:
+        { Predictor.default_config with Predictor.include_software = entry.Suite.plugins <> [] }
+      ~series ~target_max:48 ()
+  with
+  | Ok p -> p
+  | Error d -> Alcotest.failf "predict %s: %s" entry.Suite.spec.Estima_sim.Spec.name (Diag.render d)
 
 let check_bitwise name a b =
   Alcotest.(check int) (name ^ " length") (Array.length a) (Array.length b);

@@ -206,8 +206,8 @@ let prop_approximation_interpolates_linear_data =
       let xs = Array.init 12 (fun i -> float_of_int (i + 1)) in
       let ys = Array.map (fun x -> a +. (b *. x)) xs in
       match Estima.Approximation.approximate ~xs ~ys ~target_max:48.0 ~require_nonnegative:true () with
-      | None -> false
-      | Some choice ->
+      | Error _ -> false
+      | Ok choice ->
           let p = choice.Estima.Approximation.fitted.Fit.eval 24.0 in
           let want = a +. (b *. 24.0) in
           Float.abs (p -. want) <= 0.15 *. Float.max 1.0 want)
