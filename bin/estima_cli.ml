@@ -66,29 +66,21 @@ let software_arg =
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Simulation seed.")
 
 let trace_arg =
-  let fmt = Arg.enum [ ("text", `Text); ("json", `Json) ] in
+  let fmt = Arg.enum [ ("text", Config.Text); ("json", Config.Json) ] in
   Arg.(
     value
-    & opt ~vopt:(Some `Text) (some fmt) None
+    & opt ~vopt:(Some Config.Text) (some fmt) None
     & info [ "trace" ] ~docv:"FORMAT"
         ~doc:
           "Record a fit-selection audit trace and print it after the prediction: every (kernel,            prefix) candidate with the gate that rejected it (realism, growth cap, slope,            tie-break), the tie-break decisions, per-stage timings and counters.  $(docv) is            $(b,text) (default) or $(b,json).  Tracing never changes the predictions.")
 
-(* Runs [f] with a recorder installed when [trace] asks for one; the
-   returned recorder is rendered (after the normal output) by
-   [print_trace]. *)
-let record_trace trace f =
-  match trace with
-  | None -> (None, f ())
-  | Some _ ->
-      let recorder = Estima_obs.Recorder.create () in
-      let result = Estima_obs.Recorder.record recorder f in
-      (Some recorder, result)
-
-let print_trace trace recorder =
-  match (trace, recorder) with
-  | Some `Text, Some r -> Format.printf "@.%a@." Estima_obs.Trace_render.pp_recorder r
-  | Some `Json, Some r -> print_string (Estima_obs.Trace_render.json_of_recorder r)
+(* The trace rendered by Api.predict_traced, printed after the normal
+   output (text traces get a separating blank line; JSON already ends in
+   a newline). *)
+let print_trace (config : Config.t) rendered =
+  match (config.Config.trace, rendered) with
+  | Some Config.Text, Some trace -> Printf.printf "\n%s\n" trace
+  | Some Config.Json, Some trace -> print_string trace
   | _ -> ()
 
 let reps_arg =
@@ -284,35 +276,23 @@ let predict_cmd =
           exit 2
     in
     let config =
-      {
-        Predictor.default_config with
-        Predictor.include_software;
-        frequency_scale = Frequency.time_scale ~measured_on:measure_machine ~target;
-      }
+      Config.make ~include_software ~measured_on:measure_machine ~target ?jobs ?trace ()
     in
-    let recorder, result =
-      record_trace trace (fun () -> Predictor.predict ~config ~series ~target_max:(Topology.cores target) ())
+    let result, rendered_trace =
+      Api.predict_traced ~config ~series ~target_max:(Topology.cores target) ()
     in
     match result with
     | Error d ->
         (* Print the trace first: with --trace it explains, per candidate
            and stage, why the pipeline had nothing to offer. *)
-        print_trace trace recorder;
+        print_trace config rendered_trace;
         fail_diag d
     | Ok prediction ->
-        Format.printf "%a@.@." Predictor.pp_summary prediction;
-        Printf.printf "cores  predicted-time(s)  stalls/core\n";
-        Array.iteri
-          (fun i n ->
-            Printf.printf "%5.0f  %17.5f  %.4g\n" n prediction.Predictor.predicted_times.(i)
-              prediction.Predictor.stalls_per_core.(i))
-          prediction.Predictor.target_grid;
-        let verdict =
-          Error.scaling_verdict ~times:prediction.Predictor.predicted_times
-            ~grid:prediction.Predictor.target_grid ()
-        in
-        Printf.printf "\nprediction: the application %s\n" (Error.verdict_to_string verdict);
-        print_trace trace recorder
+        Printf.printf "%s\n\n" (Api.render_summary prediction);
+        print_endline Api.rows_header;
+        List.iter print_endline (Api.render_rows prediction);
+        Printf.printf "\nprediction: %s\n" (Api.render_verdict prediction);
+        print_trace config rendered_trace
   in
   Cmd.v
     (Cmd.info "predict"
@@ -342,7 +322,7 @@ let compare_cmd =
         with
         Experiment.seed;
         repetitions = reps;
-        config = { Predictor.default_config with Predictor.include_software = entry.Suite.plugins <> [] };
+        config = Config.predictor (Config.make ~include_software:(entry.Suite.plugins <> []) ());
       }
     in
     let o = unwrap_diag (Experiment.run setup) in
@@ -356,14 +336,14 @@ let compare_cmd =
           truth.(i))
       o.Experiment.prediction.Predictor.target_grid;
     Printf.printf "\nESTIMA:      max error %.1f%%, verdict %s (%s)\n"
-      (100.0 *. o.Experiment.error.Error.max_error)
-      (Error.verdict_to_string o.Experiment.error.Error.predicted_verdict)
-      (if o.Experiment.error.Error.verdict_agrees then "correct" else "wrong");
+      (100.0 *. o.Experiment.error.Diag.Quality.max_error)
+      (Diag.Quality.verdict_to_string o.Experiment.error.Diag.Quality.predicted_verdict)
+      (if o.Experiment.error.Diag.Quality.verdict_agrees then "correct" else "wrong");
     Printf.printf "time-extrap: max error %.1f%%, verdict %s (%s)\n"
-      (100.0 *. o.Experiment.baseline_error.Error.max_error)
-      (Error.verdict_to_string o.Experiment.baseline_error.Error.predicted_verdict)
-      (if o.Experiment.baseline_error.Error.verdict_agrees then "correct" else "wrong");
-    Printf.printf "measured:    %s\n" (Error.verdict_to_string o.Experiment.error.Error.measured_verdict)
+      (100.0 *. o.Experiment.baseline_error.Diag.Quality.max_error)
+      (Diag.Quality.verdict_to_string o.Experiment.baseline_error.Diag.Quality.predicted_verdict)
+      (if o.Experiment.baseline_error.Diag.Quality.verdict_agrees then "correct" else "wrong");
+    Printf.printf "measured:    %s\n" (Diag.Quality.verdict_to_string o.Experiment.error.Diag.Quality.measured_verdict)
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"ESTIMA vs time extrapolation vs ground truth on one machine.")
@@ -380,19 +360,17 @@ let bottleneck_cmd =
     let measure_machine = restrict target (Some (Option.value ~default:1 sockets)) in
     let max_threads = Option.value ~default:(Topology.cores measure_machine) window in
     let series = collect_series ~entry ~machine:measure_machine ~max_threads ~seed ~repetitions:reps in
-    let recorder, result =
-      record_trace trace (fun () ->
-          Predictor.predict
-            ~config:{ Predictor.default_config with Predictor.include_software = true }
-            ~series ~target_max:(Topology.cores target) ())
+    let config = Config.make ~include_software:true ?jobs ?trace () in
+    let result, rendered_trace =
+      Api.predict_traced ~config ~series ~target_max:(Topology.cores target) ()
     in
     match result with
     | Error d ->
-        print_trace trace recorder;
+        print_trace config rendered_trace;
         fail_diag d
     | Ok prediction ->
         Format.printf "%a@." Bottleneck.pp (Bottleneck.analyze prediction);
-        print_trace trace recorder
+        print_trace config rendered_trace
   in
   Cmd.v
     (Cmd.info "bottleneck" ~doc:"Rank the stall categories that will dominate at scale.")

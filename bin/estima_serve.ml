@@ -1,0 +1,130 @@
+(* estima_serve: the prediction service.
+
+   Speaks newline-delimited JSON (one request, one response per line)
+   over stdin/stdout or a Unix domain socket; see Estima_service.Protocol
+   for the request and response shapes.  Knobs mirror `estima_cli
+   predict`: both binaries build the same Estima.Config.t through
+   Config.make, so a served request and `estima_cli predict --from` on
+   the same CSV produce byte-identical prediction text. *)
+
+open Cmdliner
+open Estima_machine
+open Estima
+module Server = Estima_service.Server
+module Wire = Estima_service.Wire
+
+let machine_conv =
+  let parse s =
+    match Machines.find s with
+    | Some m -> Ok m
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown machine %S (known: %s)" s
+                (String.concat ", " (List.map (fun m -> m.Topology.name) Machines.all))))
+  in
+  let print ppf m = Format.fprintf ppf "%s" m.Topology.name in
+  Arg.conv (parse, print)
+
+let machine_arg =
+  Arg.(
+    value
+    & opt machine_conv (Machines.restrict_sockets Machines.opteron48 ~sockets:1)
+    & info [ "machine"; "m" ] ~docv:"MACHINE"
+        ~doc:"Machine the served CSV measurements were collected on.")
+
+let sockets_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "sockets" ] ~docv:"N" ~doc:"Restrict the measurements machine to its first $(docv) sockets.")
+
+let target_arg =
+  Arg.(
+    value
+    & opt machine_conv Machines.opteron48
+    & info [ "target"; "t" ] ~docv:"MACHINE"
+        ~doc:"Machine to extrapolate to; its core count is the default target_max.")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker pool size: distinct requests in a batch run on $(docv) domains.            Responses are byte-identical regardless of $(docv).")
+
+let queue_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "queue" ] ~docv:"N"
+        ~doc:
+          "Bounded request queue: at most $(docv) predict requests are admitted per batch;            the rest are shed with a typed `overloaded` error (exit_code 4 on the wire).")
+
+let cache_arg =
+  Arg.(
+    value & opt int 128
+    & info [ "cache" ] ~docv:"N" ~doc:"Result cache capacity (LRU entries).")
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "timeout-ms" ] ~docv:"MS"
+        ~doc:
+          "Default queue-wait deadline: a request still waiting after $(docv) ms is shed with            a typed `deadline-exceeded` error.  Requests may override with their own            timeout_ms member.  Without this option requests wait forever.")
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          "Listen on a Unix domain socket at $(docv) (serving concurrent connections)            instead of stdin/stdout.")
+
+let serve machine sockets target jobs queue cache timeout_ms socket_path =
+  let machine =
+    match sockets with None -> machine | Some sockets -> Machines.restrict_sockets machine ~sockets
+  in
+  let base = Config.make ~measured_on:machine ~target () in
+  let config =
+    {
+      Server.machine;
+      target = Some target;
+      base;
+      jobs;
+      queue_capacity = queue;
+      cache_capacity = cache;
+      default_timeout_ms = timeout_ms;
+    }
+  in
+  match Server.create config with
+  | exception Invalid_argument msg ->
+      prerr_endline ("estima_serve: " ^ msg);
+      exit 1
+  | server ->
+      Fun.protect
+        ~finally:(fun () -> Server.shutdown server)
+        (fun () ->
+          match socket_path with
+          | None -> Wire.serve_stdio server
+          | Some path -> Wire.serve_socket server ~path)
+
+let cmd =
+  let doc = "serve scalability predictions over newline-delimited JSON" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Requests: {\"id\":1,\"op\":\"predict\",\"file\":\"m.csv\"} (or \"csv\" inline), \
+         {\"op\":\"metrics\"}, {\"op\":\"shutdown\"}.  Successful predict responses carry the \
+         exact text `estima_cli predict` prints, split into summary/header/rows/verdict; \
+         failures carry the typed diagnostic with its CLI exit code.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "estima_serve" ~version:"1.0.0" ~doc ~man)
+    Term.(
+      const serve $ machine_arg $ sockets_arg $ target_arg $ jobs_arg $ queue_arg $ cache_arg
+      $ timeout_arg $ socket_arg)
+
+let () = exit (Cmd.eval cmd)

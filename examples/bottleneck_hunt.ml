@@ -4,36 +4,33 @@
    dominant category's code-site hint.  Then verify that the suggested fix
    actually helps on the large machine.
 
+   Measurement and prediction go through Estima.Api, the stable entry
+   point; Api.Bottleneck ranks the predicted categories.
+
    Run with:  dune exec examples/bottleneck_hunt.exe *)
 
 open Estima_machine
 open Estima_sim
 open Estima_workloads
-open Estima_counters
 open Estima
 
 let hunt name fixed_name =
   let entry = Option.get (Suite.find name) in
   let measurements_machine = Machines.restrict_sockets Machines.opteron48 ~sockets:1 in
   let series =
-    Collector.collect
-      ~options:{ Collector.default_options with Collector.seed = 42; plugins = entry.Suite.plugins; repetitions = 5 }
-      ~machine:measurements_machine ~spec:entry.Suite.spec
-      ~thread_counts:(Collector.default_thread_counts ~max:12)
-      ()
+    Api.collect ~plugins:entry.Suite.plugins ~machine:measurements_machine ~spec:entry.Suite.spec
+      ~max_threads:12 ()
   in
   let prediction =
     match
-      Predictor.predict
-        ~config:{ Predictor.default_config with Predictor.include_software = true }
-        ~series ~target_max:48 ()
+      Api.predict ~config:(Config.make ~include_software:true ()) ~series ~target_max:48 ()
     with
     | Ok prediction -> prediction
     | Error d ->
         prerr_endline (Diag.render d);
         exit (Diag.exit_code d)
   in
-  Format.printf "== %s ==@.%a@." name Bottleneck.pp (Bottleneck.analyze prediction);
+  Format.printf "== %s ==@.%a@." name Api.Bottleneck.pp (Api.Bottleneck.analyze prediction);
   (* Apply the fix and compare on the full machine. *)
   let fixed = Option.get (Suite.find fixed_name) in
   let time spec threads =

@@ -6,6 +6,9 @@
    parallel scans over a large shared dataset with a striped-locked index
    update on a fraction of operations.
 
+   Measurement and prediction go through Estima.Api, the stable entry
+   point.
+
    Run with:  dune exec examples/custom_workload.exe *)
 
 open Estima_machine
@@ -27,31 +30,24 @@ let () =
   | Error e -> failwith e);
   let measurements_machine = Machines.restrict_sockets Machines.opteron48 ~sockets:1 in
   let series =
-    Collector.collect
-      ~options:{ Collector.default_options with Collector.seed = 42; plugins = [ Plugin.pthread_wrapper ]; repetitions = 5 }
-      ~machine:measurements_machine ~spec:analytics_service
-      ~thread_counts:(Collector.default_thread_counts ~max:12)
-      ()
+    Api.collect ~plugins:[ Plugin.pthread_wrapper ] ~machine:measurements_machine
+      ~spec:analytics_service ~max_threads:12 ()
   in
   let prediction =
     match
-      Predictor.predict
-        ~config:{ Predictor.default_config with Predictor.include_software = true }
-        ~series ~target_max:48 ()
+      Api.predict ~config:(Config.make ~include_software:true ()) ~series ~target_max:48 ()
     with
     | Ok prediction -> prediction
     | Error d ->
         prerr_endline (Diag.render d);
         exit (Diag.exit_code d)
   in
-  Format.printf "%a@.@." Predictor.pp_summary prediction;
+  Printf.printf "%s\n\n" (Api.render_summary prediction);
   let spc = prediction.Predictor.stalls_per_core in
   let times = prediction.Predictor.predicted_times in
   Format.printf "cores  stalls/core  predicted time@.";
   List.iter
     (fun n -> Format.printf "%5d  %11.3e  %.4f s@." n spc.(n - 1) times.(n - 1))
     [ 1; 8; 16; 24; 32; 40; 48 ];
-  let verdict =
-    Error.scaling_verdict ~times ~grid:prediction.Predictor.target_grid ()
-  in
-  Format.printf "@.deployment advice: the service %s@." (Error.verdict_to_string verdict)
+  Format.printf "@.deployment advice: the service %s@."
+    (Api.Quality.verdict_to_string (Api.verdict prediction))

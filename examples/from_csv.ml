@@ -9,6 +9,9 @@
    subject and a typed cause, which this program prints to stderr before
    exiting with the diagnostic's code (2 bad input, 3 no realistic fit).
 
+   Everything below goes through Estima.Api, the stable entry point —
+   the same calls estima_serve makes per request.
+
    Run with:  dune exec examples/from_csv.exe [FILE.csv] *)
 
 open Estima_machine
@@ -29,16 +32,14 @@ let () =
      vocabulary (vendor) and the clock used when a cycles column is
      absent. *)
   let measurements_machine = Machines.restrict_sockets Machines.opteron48 ~sockets:1 in
-  let spec_name = Filename.remove_extension (Filename.basename path) in
-  let series = or_die (Ingest.load_series ~machine:measurements_machine ~spec_name path) in
+  let series = or_die (Api.load_series ~machine:measurements_machine path) in
   Format.printf "ingested %d measured points from %s@." (Array.length series.Series.samples) path;
-  let config = { Predictor.default_config with Predictor.include_software = true } in
-  let prediction = or_die (Predictor.predict ~config ~series ~target_max:48 ()) in
-  Format.printf "%a@.@." Predictor.pp_summary prediction;
+  let config = Config.make ~include_software:true () in
+  let prediction = or_die (Api.predict ~config ~series ~target_max:48 ()) in
+  Printf.printf "%s\n\n" (Api.render_summary prediction);
   let times = prediction.Predictor.predicted_times in
   Format.printf "cores  predicted time@.";
   List.iter
     (fun n -> Format.printf "%5d  %.4f s@." n times.(n - 1))
     [ 1; 8; 16; 24; 32; 40; 48 ];
-  let verdict = Error.scaling_verdict ~times ~grid:prediction.Predictor.target_grid () in
-  Format.printf "@.verdict: the application %s@." (Error.verdict_to_string verdict)
+  Format.printf "@.verdict: %s@." (Api.render_verdict prediction)

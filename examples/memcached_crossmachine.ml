@@ -30,5 +30,5 @@ let () =
   let truth = Estima_repro.Lab.sweep_threads ~entry ~machine:server_socket ~max_threads:20 () in
   let error = Estima_repro.Lab.errors_against_truth ~prediction ~truth () in
   Format.printf "@.validated against the server: max error %.1f%% (%s)@."
-    (100.0 *. error.Error.max_error)
-    (Error.verdict_to_string error.Error.measured_verdict)
+    (100.0 *. error.Api.Quality.max_error)
+    (Api.Quality.verdict_to_string error.Api.Quality.measured_verdict)

@@ -6,11 +6,12 @@
    4. print the predicted execution-time curve,
    5. validate against a ground-truth sweep of the target machine.
 
+   Everything below goes through Estima.Api, the stable entry point.
+
    Run with:  dune exec examples/quickstart.exe *)
 
 open Estima_machine
 open Estima_workloads
-open Estima_counters
 open Estima
 
 let () =
@@ -21,26 +22,23 @@ let () =
 
   (* 2. measurement collection (step A of the paper's Figure 3) *)
   let series =
-    Collector.collect
-      ~options:{ Collector.default_options with Collector.seed = 42; plugins = entry.Suite.plugins; repetitions = 5 }
-      ~machine:measurements_machine ~spec:entry.Suite.spec
-      ~thread_counts:(Collector.default_thread_counts ~max:12)
-      ()
+    Api.collect ~plugins:entry.Suite.plugins ~machine:measurements_machine ~spec:entry.Suite.spec
+      ~max_threads:12 ()
   in
   Format.printf "measured %s at 1..12 cores on %a@." entry.Suite.spec.Estima_sim.Spec.name
     Topology.pp measurements_machine;
 
   (* 3. prediction (steps B and C); a stage that cannot proceed reports a
      diagnostic instead of raising *)
-  let config = { Predictor.default_config with Predictor.include_software = true } in
+  let config = Config.make ~include_software:true () in
   let prediction =
-    match Predictor.predict ~config ~series ~target_max:(Topology.cores target_machine) () with
+    match Api.predict ~config ~series ~target_max:(Topology.cores target_machine) () with
     | Ok prediction -> prediction
     | Error d ->
         prerr_endline (Diag.render d);
         exit (Diag.exit_code d)
   in
-  Format.printf "%a@.@." Predictor.pp_summary prediction;
+  Printf.printf "%s\n\n" (Api.render_summary prediction);
 
   (* 4. the predicted curve *)
   Format.printf "cores  predicted time@.";
@@ -52,17 +50,15 @@ let () =
 
   (* 5. validation *)
   let truth =
-    Collector.collect
-      ~options:{ Collector.default_options with Collector.seed = 1042; plugins = entry.Suite.plugins; repetitions = 5 }
-      ~machine:target_machine ~spec:entry.Suite.spec
-      ~thread_counts:(Collector.default_thread_counts ~max:48)
-      ()
+    Api.collect ~seed:1042 ~plugins:entry.Suite.plugins ~machine:target_machine
+      ~spec:entry.Suite.spec ~max_threads:48 ()
   in
   let error =
-    Error.evaluate ~predicted:prediction.Predictor.predicted_times ~measured:(Series.times truth)
+    Api.Quality.evaluate ~predicted:prediction.Predictor.predicted_times
+      ~measured:(Estima_counters.Series.times truth)
       ~target_grid:prediction.Predictor.target_grid ()
   in
   Format.printf "@.max error %.1f%%; prediction says %s, machine says %s@."
-    (100.0 *. error.Error.max_error)
-    (Error.verdict_to_string error.Error.predicted_verdict)
-    (Error.verdict_to_string error.Error.measured_verdict)
+    (100.0 *. error.Api.Quality.max_error)
+    (Api.Quality.verdict_to_string error.Api.Quality.predicted_verdict)
+    (Api.Quality.verdict_to_string error.Api.Quality.measured_verdict)

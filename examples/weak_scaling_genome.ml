@@ -2,30 +2,27 @@
    machine with twice the cores AND twice the dataset, from measurements
    of the small configuration only.
 
+   Measurement and prediction go through Estima.Api; the weak-scaling
+   knob is Config.make's ~dataset_factor.
+
    Run with:  dune exec examples/weak_scaling_genome.exe *)
 
 open Estima_machine
 open Estima_sim
 open Estima_workloads
-open Estima_counters
 open Estima
 
 let () =
   let entry = Option.get (Suite.find "genome") in
   let socket = Machines.restrict_sockets Machines.xeon20 ~sockets:1 in
   let series =
-    Collector.collect
-      ~options:{ Collector.default_options with Collector.seed = 42; plugins = entry.Suite.plugins; repetitions = 5 }
-      ~machine:socket ~spec:entry.Suite.spec
-      ~thread_counts:(Collector.default_thread_counts ~max:10)
-      ()
+    Api.collect ~plugins:entry.Suite.plugins ~machine:socket ~spec:entry.Suite.spec
+      ~max_threads:10 ()
   in
   Format.printf "measured genome (1x dataset) on %a@." Topology.pp socket;
-  let config =
-    { Predictor.default_config with Predictor.include_software = true; dataset_factor = 2.0 }
-  in
+  let config = Config.make ~include_software:true ~dataset_factor:2.0 () in
   let prediction =
-    match Predictor.predict ~config ~series ~target_max:20 () with
+    match Api.predict ~config ~series ~target_max:20 () with
     | Ok prediction -> prediction
     | Error d ->
         prerr_endline (Diag.render d);
@@ -34,13 +31,10 @@ let () =
   (* Ground truth: the full machine genuinely running the doubled dataset. *)
   let doubled = { (Spec.dataset_scale entry.Suite.spec 2.0) with Spec.name = "genome-2x" } in
   let truth =
-    Collector.collect
-      ~options:{ Collector.default_options with Collector.seed = 1042; plugins = entry.Suite.plugins; repetitions = 5 }
-      ~machine:Machines.xeon20 ~spec:doubled
-      ~thread_counts:(Collector.default_thread_counts ~max:20)
-      ()
+    Api.collect ~seed:1042 ~plugins:entry.Suite.plugins ~machine:Machines.xeon20 ~spec:doubled
+      ~max_threads:20 ()
   in
-  let measured = Series.times truth in
+  let measured = Estima_counters.Series.times truth in
   Format.printf "@.cores  predicted(2x)  measured(2x)@.";
   Array.iteri
     (fun i n ->
@@ -48,8 +42,8 @@ let () =
         Format.printf "%5.0f  %12.4f  %11.4f@." n prediction.Predictor.predicted_times.(i) measured.(i))
     prediction.Predictor.target_grid;
   let error =
-    Error.evaluate ~predicted:prediction.Predictor.predicted_times ~measured
+    Api.Quality.evaluate ~predicted:prediction.Predictor.predicted_times ~measured
       ~target_grid:prediction.Predictor.target_grid ~from_threads:2 ()
   in
   Format.printf "@.max error (excluding single core, as in the paper): %.1f%%@."
-    (100.0 *. error.Error.max_error)
+    (100.0 *. error.Api.Quality.max_error)

@@ -1,0 +1,67 @@
+open Estima_counters
+
+let version = 1
+
+module Config = Config
+module Diag = Diag
+module Quality = Diag.Quality
+module Prediction = Predictor
+module Bottleneck = Bottleneck
+
+let collect ?(seed = 42) ?(repetitions = 5) ?(plugins = []) ~machine ~spec ~max_threads () =
+  Collector.collect
+    ~options:{ Collector.default_options with Collector.seed; plugins; repetitions }
+    ~machine ~spec
+    ~thread_counts:(Collector.default_thread_counts ~max:max_threads)
+    ()
+
+let spec_name_of_path path = Filename.remove_extension (Filename.basename path)
+
+let load_series ?spec_name ~machine path =
+  let spec_name = Option.value ~default:(spec_name_of_path path) spec_name in
+  Ingest.load_series ~machine ~spec_name path
+
+let series_of_csv ?(file = "<csv>") ?spec_name ~machine csv =
+  let spec_name = Option.value ~default:(spec_name_of_path file) spec_name in
+  Ingest.series_of_csv ~file ~machine ~spec_name csv
+
+let attach_software = Ingest.attach_software
+let load_report = Ingest.load_report
+
+let predict ?(config = Config.default) ~series ~target_max () =
+  Config.apply_jobs config;
+  Predictor.predict ~config:(Config.predictor config) ~series ~target_max ()
+
+let predict_traced ?(config = Config.default) ~series ~target_max () =
+  match config.Config.trace with
+  | None -> (predict ~config ~series ~target_max (), None)
+  | Some format ->
+      Config.apply_jobs config;
+      let recorder = Estima_obs.Recorder.create () in
+      let result =
+        Estima_obs.Recorder.record recorder (fun () ->
+            Predictor.predict ~config:(Config.predictor config) ~series ~target_max ())
+      in
+      let rendered =
+        match format with
+        | Config.Text -> Format.asprintf "%a" Estima_obs.Trace_render.pp_recorder recorder
+        | Config.Json -> Estima_obs.Trace_render.json_of_recorder recorder
+      in
+      (result, Some rendered)
+
+let render_summary prediction = Format.asprintf "%a" Predictor.pp_summary prediction
+
+let rows_header = "cores  predicted-time(s)  stalls/core"
+
+let render_rows (p : Prediction.t) =
+  Array.to_list
+    (Array.mapi
+       (fun i n ->
+         Printf.sprintf "%5.0f  %17.5f  %.4g" n p.Predictor.predicted_times.(i)
+           p.Predictor.stalls_per_core.(i))
+       p.Predictor.target_grid)
+
+let verdict (p : Prediction.t) =
+  Quality.scaling_verdict ~times:p.Predictor.predicted_times ~grid:p.Predictor.target_grid ()
+
+let render_verdict p = "the application " ^ Quality.verdict_to_string (verdict p)

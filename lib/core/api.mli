@@ -1,0 +1,130 @@
+(** The stable, versioned entry point to ESTIMA.
+
+    Everything a program needs to go from measurements to a scalability
+    prediction is reachable from here, under one consistent naming scheme
+    that follows the paper's Figure 3 pipeline:
+
+    - {b collect} (stage A): {!collect} runs a simulated workload;
+      {!load_series}/{!series_of_csv}/{!attach_software} ingest
+      measurements collected outside ESTIMA;
+    - {b predict} (stages B and C): {!predict} and {!predict_traced},
+      both driven by a single {!Config.t} knob record;
+    - {b judge and render}: {!Quality} scores a prediction against ground
+      truth, {!render_summary}/{!render_rows}/{!render_verdict} produce
+      the exact text [estima_cli predict] prints — which is also what the
+      prediction service returns on the wire, so the two surfaces are
+      byte-identical by construction.
+
+    Programs should depend on this module (and the re-exported
+    {!Config}/{!Diag}/{!Quality}) rather than reaching into the
+    individual [lib/core] modules: those remain visible for the paper
+    reproduction harness, but their shapes are free to change between
+    versions, while [Api] only changes with {!version}. *)
+
+open Estima_counters
+
+val version : int
+(** The API generation, bumped on any incompatible change to this
+    signature or to the service wire protocol built on it.  Currently 1. *)
+
+(** Re-exports: the full knob record, diagnostics, quality metrics, the
+    prediction type, and bottleneck analysis. *)
+
+module Config = Config
+
+module Diag = Diag
+module Quality = Diag.Quality
+module Prediction = Predictor
+module Bottleneck = Bottleneck
+
+(** {1 Stage A — collect} *)
+
+val collect :
+  ?seed:int ->
+  ?repetitions:int ->
+  ?plugins:Plugin.t list ->
+  machine:Estima_machine.Topology.t ->
+  spec:Estima_sim.Spec.t ->
+  max_threads:int ->
+  unit ->
+  Series.t
+(** Measure [spec] on [machine] at every core count 1..[max_threads]
+    (the paper's measurement sweep).  Defaults: seed 42, 5 averaged
+    repetitions, no software plugins. *)
+
+val load_series :
+  ?spec_name:string ->
+  machine:Estima_machine.Topology.t ->
+  string ->
+  (Series.t, Diag.t) result
+(** Ingest a CSV file in the [collect --csv] schema ({!Ingest.load_series});
+    [spec_name] defaults to the file's basename without extension. *)
+
+val series_of_csv :
+  ?file:string ->
+  ?spec_name:string ->
+  machine:Estima_machine.Topology.t ->
+  string ->
+  (Series.t, Diag.t) result
+(** Parse an in-memory CSV document; [file] (default ["<csv>"]) labels
+    parse errors, [spec_name] defaults to [file]'s basename. *)
+
+val attach_software :
+  name:string ->
+  expression:string ->
+  report:string ->
+  Series.t ->
+  (Series.t, Diag.t) result
+(** Add one software stall category scanned from a runtime report
+    ({!Ingest.attach_software}). *)
+
+val load_report : string -> (string, Diag.t) result
+(** Read a report file whole ({!Ingest.load_report}). *)
+
+(** {1 Stages B and C — predict} *)
+
+val predict :
+  ?config:Config.t ->
+  series:Series.t ->
+  target_max:int ->
+  unit ->
+  (Prediction.t, Diag.t) result
+(** Run the staged pipeline under [config] (default {!Config.default}).
+    Applies the config's [jobs] knob, then delegates to
+    {!Predictor.predict}; never raises — see {!Diag} for the failure
+    vocabulary. *)
+
+val predict_traced :
+  ?config:Config.t ->
+  series:Series.t ->
+  target_max:int ->
+  unit ->
+  (Prediction.t, Diag.t) result * string option
+(** Like {!predict} but honouring [config.trace]: with [Some fmt] the
+    pipeline runs under a recorder and the rendered audit trace (text or
+    JSON, per [fmt]) is returned alongside the result — also when the
+    pipeline fails, which is exactly when the trace explains the most.
+    With [config.trace = None] this is [predict] paired with [None]. *)
+
+(** {1 Rendering}
+
+    The canonical textual forms of a prediction, shared by [estima_cli
+    predict] and the [estima_serve] wire responses. *)
+
+val render_summary : Prediction.t -> string
+(** {!Predictor.pp_summary} as a string: workload, machines, the chosen
+    kernel per category and the factor correlation. *)
+
+val render_rows : Prediction.t -> string list
+(** One line per target core count: cores, predicted time, stalls per
+    core — the rows of the [estima_cli predict] table, byte-identical. *)
+
+val rows_header : string
+(** The column header above {!render_rows}. *)
+
+val verdict : Prediction.t -> Quality.verdict
+(** {!Quality.scaling_verdict} of the predicted curve. *)
+
+val render_verdict : Prediction.t -> string
+(** ["the application scales"] / ["the application stops at N cores"] —
+    the phrase both binaries print. *)

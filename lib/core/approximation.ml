@@ -2,9 +2,9 @@ open Estima_numerics
 open Estima_kernels
 module Trace = Estima_obs.Trace
 
-type config = { checkpoints : int; min_prefix : int }
+type config = { checkpoints : int; min_prefix : int; kernels : Kernel.t list }
 
-let default_config = { checkpoints = 4; min_prefix = 3 }
+let default_config = { checkpoints = 4; min_prefix = 3; kernels = Catalogue.all }
 
 type choice = { fitted : Fit.fitted; prefix : int; checkpoint_rmse : float }
 
@@ -269,7 +269,7 @@ let approximate ?(config = default_config) ?(subject = "series") ~xs ~ys ~target
     let candidates =
       Array.of_list
         (List.concat_map
-           (fun prefix -> List.map (fun kernel -> (prefix, kernel)) Catalogue.all)
+           (fun prefix -> List.map (fun kernel -> (prefix, kernel)) config.kernels)
            (List.init (n - config.min_prefix + 1) (fun i -> config.min_prefix + i)))
     in
     Estima_par.Fanout.map_consume candidates
@@ -294,7 +294,7 @@ let approximate ?(config = default_config) ?(subject = "series") ~xs ~ys ~target
            most of the signal; refit each kernel on the whole series,
            scored by its full-series RMSE, before resorting to polynomial
            fallbacks. *)
-        Estima_par.Fanout.map_consume (Array.of_list Catalogue.all)
+        Estima_par.Fanout.map_consume (Array.of_list config.kernels)
           ~f:(fun kernel ->
             match Fit.fit kernel ~xs ~ys with
             | None ->

@@ -14,10 +14,15 @@ open Estima_kernels
 type config = {
   checkpoints : int;  (** c; the paper uses 2 and 4. *)
   min_prefix : int;  (** Smallest prefix fitted (paper: 3). *)
+  kernels : Kernel.t list;
+      (** The candidate kernel set swept by the prefix search (default:
+          the full Table 1 set, {!Estima_kernels.Catalogue.all}).  An
+          empty list makes every series fall through to the polynomial
+          fallback chain. *)
 }
 
 val default_config : config
-(** 2 checkpoints, prefixes from 3. *)
+(** 4 checkpoints, prefixes from 3, the full Table 1 kernel set. *)
 
 type choice = {
   fitted : Fit.fitted;
@@ -64,6 +69,7 @@ val approximate_exn :
   require_nonnegative:bool ->
   unit ->
   choice option
+  [@@deprecated "use Approximation.approximate, which returns (_, Diag.t) result"]
 (** Legacy entry point: [None] for {!Diag.No_realistic_fit}, raises via
     {!Diag.raise_exn} on every other [Error]. *)
 

@@ -1,0 +1,86 @@
+open Estima_kernels
+
+type trace_format = Text | Json
+
+type t = {
+  checkpoints : int;
+  min_prefix : int;
+  kernels : Kernel.t list;
+  include_software : bool;
+  include_frontend : bool;
+  frequency_scale : float;
+  dataset_factor : float;
+  jobs : int option;
+  trace : trace_format option;
+}
+
+let default =
+  {
+    checkpoints = Approximation.default_config.Approximation.checkpoints;
+    min_prefix = Approximation.default_config.Approximation.min_prefix;
+    kernels = Approximation.default_config.Approximation.kernels;
+    include_software = false;
+    include_frontend = false;
+    frequency_scale = 1.0;
+    dataset_factor = 1.0;
+    jobs = None;
+    trace = None;
+  }
+
+let make ?(checkpoints = default.checkpoints) ?(min_prefix = default.min_prefix)
+    ?(kernels = default.kernels) ?(include_software = default.include_software)
+    ?(include_frontend = default.include_frontend) ?frequency_scale
+    ?(dataset_factor = default.dataset_factor) ?measured_on ?target ?jobs ?trace () =
+  let frequency_scale =
+    match (frequency_scale, measured_on, target) with
+    | Some s, _, _ -> s
+    | None, Some measured_on, Some target -> Estima_machine.Frequency.time_scale ~measured_on ~target
+    | None, _, _ -> default.frequency_scale
+  in
+  {
+    checkpoints;
+    min_prefix;
+    kernels;
+    include_software;
+    include_frontend;
+    frequency_scale;
+    dataset_factor;
+    jobs;
+    trace;
+  }
+
+let approximation t =
+  { Approximation.checkpoints = t.checkpoints; min_prefix = t.min_prefix; kernels = t.kernels }
+
+let predictor t =
+  {
+    Predictor.approximation = approximation t;
+    include_software = t.include_software;
+    include_frontend = t.include_frontend;
+    frequency_scale = t.frequency_scale;
+    dataset_factor = t.dataset_factor;
+  }
+
+let apply_jobs t = match t.jobs with None -> () | Some n -> Estima_par.Fanout.set_jobs (Some n)
+
+let validate t =
+  let bad what = Diag.error ~stage:Diag.Collect ~subject:"config" (Diag.Bad_config { what }) in
+  if t.checkpoints <= 0 then bad (Printf.sprintf "checkpoints = %d (need > 0)" t.checkpoints)
+  else if t.min_prefix < 2 then bad (Printf.sprintf "min_prefix = %d (need >= 2)" t.min_prefix)
+  else if t.frequency_scale <= 0.0 then
+    bad (Printf.sprintf "frequency_scale = %g (need > 0)" t.frequency_scale)
+  else if t.dataset_factor <= 0.0 then
+    bad (Printf.sprintf "dataset_factor = %g (need > 0)" t.dataset_factor)
+  else
+    match t.jobs with
+    | Some n when n < 1 -> bad (Printf.sprintf "jobs = %d (need >= 1)" n)
+    | _ -> Ok ()
+
+(* The fields that decide the numbers, and nothing else: jobs and trace
+   are observationally neutral by the Fanout/Trace contracts, so two
+   configs differing only there must hash to the same cache key. *)
+let fingerprint t =
+  Printf.sprintf "estima-config-v1 c=%d p=%d k=%s sw=%b fe=%b fs=%.17g df=%.17g" t.checkpoints
+    t.min_prefix
+    (String.concat "," (List.map (fun k -> k.Kernel.name) t.kernels))
+    t.include_software t.include_frontend t.frequency_scale t.dataset_factor

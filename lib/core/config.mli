@@ -1,0 +1,85 @@
+(** The one knob record of the public API.
+
+    Before this module, tuning a prediction meant threading loose optional
+    arguments through several modules: [?config:Approximation.config]
+    (checkpoint count, minimum prefix), [?config:Predictor.config]
+    (software stalls, frontend, frequency and dataset scaling), the
+    process-wide [--jobs]/[ESTIMA_JOBS] knob of {!Estima_par.Fanout}, and
+    the CLI-only [--trace] flag.  [Config.t] gathers every one of them:
+    {!Estima.Api} accepts it directly, and both [estima_cli] and
+    [estima_serve] build it through {!make} — one construction site, so
+    the two binaries cannot drift apart on defaults. *)
+
+open Estima_kernels
+
+(** Rendering of the fit-selection audit trace, when one is requested. *)
+type trace_format = Text | Json
+
+type t = {
+  checkpoints : int;  (** Held-out highest-core measurements (paper: 2 or 4). *)
+  min_prefix : int;  (** Smallest measurement prefix fitted (paper: 3). *)
+  kernels : Kernel.t list;  (** Candidate kernel set (default: full Table 1). *)
+  include_software : bool;  (** Use software stall plugins (off, as in the paper). *)
+  include_frontend : bool;  (** Section 5.2 frontend ablation; off by default. *)
+  frequency_scale : float;
+      (** Multiplier applied to measured times when the target machine has
+          a different clock; 1.0 for same-machine predictions. *)
+  dataset_factor : float;  (** Weak-scaling dataset growth (Section 4.5); 1.0 = strong. *)
+  jobs : int option;
+      (** Fit-search domains: [Some n] pins {!Estima_par.Fanout.set_jobs};
+          [None] leaves the [ESTIMA_JOBS] environment default in force.
+          Never changes the numbers — parallel runs are byte-identical. *)
+  trace : trace_format option;
+      (** [Some fmt] records a fit-selection audit trace during
+          {!Api.predict_traced} and renders it in [fmt]; [None] (default)
+          costs nothing.  Tracing never changes the predictions. *)
+}
+
+val default : t
+(** Paper defaults: 4 checkpoints, prefixes from 3, the full Table 1
+    kernel set, hardware counters only, same-machine strong scaling, the
+    environment jobs default, no trace. *)
+
+val make :
+  ?checkpoints:int ->
+  ?min_prefix:int ->
+  ?kernels:Kernel.t list ->
+  ?include_software:bool ->
+  ?include_frontend:bool ->
+  ?frequency_scale:float ->
+  ?dataset_factor:float ->
+  ?measured_on:Estima_machine.Topology.t ->
+  ?target:Estima_machine.Topology.t ->
+  ?jobs:int ->
+  ?trace:trace_format ->
+  unit ->
+  t
+(** The single construction site used by [estima_cli] and [estima_serve].
+    Every argument defaults to {!default}'s value.  When both
+    [measured_on] and [target] are given and [frequency_scale] is not,
+    the scale is derived with {!Estima_machine.Frequency.time_scale} —
+    the cross-machine workflow both binaries share. *)
+
+val approximation : t -> Approximation.config
+(** The regression-stage slice of the record. *)
+
+val predictor : t -> Predictor.config
+(** The full pipeline slice of the record. *)
+
+val apply_jobs : t -> unit
+(** Pin the process-wide fan-out width when [jobs] is [Some n]
+    ({!Estima_par.Fanout.set_jobs}); a no-op when [None].  Main-domain
+    knob, like [set_jobs] itself. *)
+
+val validate : t -> (unit, Diag.t) result
+(** Structural sanity: positive scales, [checkpoints > 0],
+    [min_prefix >= 2], [jobs >= 1].  The pipeline re-checks what it
+    consumes; this exists so services can reject a bad configuration at
+    admission time with a typed {!Diag.t}. *)
+
+val fingerprint : t -> string
+(** Canonical one-line rendering of every field that can change the
+    numbers — deliberately excluding [jobs] and [trace], which are
+    guaranteed observationally neutral.  The service's result cache keys
+    on this, so a cache hit can never return numbers a different config
+    would have produced, while jobs/trace settings share entries. *)

@@ -1,11 +1,12 @@
 module Trace = Estima_obs.Trace
 
-type stage = Collect | Extrapolate | Translate
+type stage = Collect | Extrapolate | Translate | Serve
 
 let stage_label = function
   | Collect -> "collect"
   | Extrapolate -> "extrapolate"
   | Translate -> "translate"
+  | Serve -> "serve"
 
 type cause =
   | Parse_error of { file : string; line : int; msg : string }
@@ -16,6 +17,8 @@ type cause =
   | Bad_value of { what : string; value : float }
   | Target_below_window of { target : int; window : int }
   | No_realistic_fit of { window : int }
+  | Overloaded of { pending : int; capacity : int }
+  | Deadline_exceeded of { waited_ms : int; timeout_ms : int }
 
 let cause_label = function
   | Parse_error _ -> "parse-error"
@@ -26,6 +29,8 @@ let cause_label = function
   | Bad_value _ -> "bad-value"
   | Target_below_window _ -> "target-below-window"
   | No_realistic_fit _ -> "no-realistic-fit"
+  | Overloaded _ -> "overloaded"
+  | Deadline_exceeded _ -> "deadline-exceeded"
 
 let cause_message = function
   | Parse_error { file; line; msg } ->
@@ -48,6 +53,12 @@ let cause_message = function
         target window
   | No_realistic_fit { window } ->
       Printf.sprintf "no realistic fit (measured window <= %d cores)" window
+  | Overloaded { pending; capacity } ->
+      Printf.sprintf "request shed: queue full (%d pending, capacity %d); retry later" pending
+        capacity
+  | Deadline_exceeded { waited_ms; timeout_ms } ->
+      Printf.sprintf "request shed: waited %d ms in the queue, past its %d ms deadline" waited_ms
+        timeout_ms
 
 type t = { stage : stage; subject : string; cause : cause }
 
@@ -69,9 +80,90 @@ let error ~stage ~subject cause =
          });
   Error t
 
-let exit_code t = match t.cause with No_realistic_fit _ -> 3 | _ -> 2
+let exit_code t =
+  match t.cause with
+  | No_realistic_fit _ -> 3
+  | Overloaded _ | Deadline_exceeded _ -> 4
+  | _ -> 2
 
 let raise_exn t = (* exn-shim *)
   match t.cause with
-  | No_realistic_fit _ -> failwith (render t) (* exn-shim *)
+  | No_realistic_fit _ | Overloaded _ | Deadline_exceeded _ -> failwith (render t) (* exn-shim *)
   | _ -> invalid_arg (render t) (* exn-shim *)
+
+(* Prediction-quality metrics, folded in from the pre-Diag lib/core/error.ml
+   (the module was called [Error] when pipeline failures were still
+   exceptions; see diag.mli for why it lives here now). *)
+module Quality = struct
+  type verdict = Scales | Stops_at of int
+
+  type t = {
+    max_error : float;
+    mean_error : float;
+    per_point : (int * float) list;
+    predicted_verdict : verdict;
+    measured_verdict : verdict;
+    verdict_agrees : bool;
+  }
+
+  let scaling_verdict ?(tolerance = 0.05) ~times ~grid () =
+    if Array.length times = 0 || Array.length times <> Array.length grid then
+      invalid_arg "Diag.Quality.scaling_verdict: bad input";
+    let n = Array.length times in
+    (* The application stops scaling at the first core count after which no
+       later point improves on it by more than [tolerance]. *)
+    let best_after = Array.make n Float.infinity in
+    for i = n - 2 downto 0 do
+      best_after.(i) <- Float.min times.(i + 1) best_after.(i + 1)
+    done;
+    let stop = ref (n - 1) in
+    (try
+       for i = 0 to n - 2 do
+         if best_after.(i) >= times.(i) *. (1.0 -. tolerance) then begin
+           stop := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if float_of_int !stop >= 0.8 *. float_of_int (n - 1) then Scales
+    else Stops_at (int_of_float grid.(!stop))
+
+  let verdict_to_string = function
+    | Scales -> "scales"
+    | Stops_at k -> Printf.sprintf "stops at %d cores" k
+
+  let agreement ~predicted ~measured =
+    match (predicted, measured) with
+    | Scales, Scales -> true
+    | Stops_at a, Stops_at b ->
+        let a = float_of_int a and b = float_of_int b in
+        Float.abs (a -. b) <= (1.0 /. 3.0) *. Float.max a b
+    | Scales, Stops_at _ | Stops_at _, Scales -> false
+
+  let evaluate ~predicted ~measured ~target_grid ?(from_threads = 1) () =
+    let n = Array.length predicted in
+    if n = 0 || n <> Array.length measured || n <> Array.length target_grid then
+      invalid_arg "Diag.Quality.evaluate: inconsistent lengths";
+    if Array.exists (fun t -> t <= 0.0) measured then
+      invalid_arg "Diag.Quality.evaluate: non-positive measured time";
+    let per_point =
+      Array.to_list target_grid
+      |> List.mapi (fun i g ->
+             (int_of_float g, Float.abs ((predicted.(i) -. measured.(i)) /. measured.(i))))
+      |> List.filter (fun (threads, _) -> threads >= from_threads)
+    in
+    if per_point = [] then invalid_arg "Diag.Quality.evaluate: no points at or above from_threads";
+    let errors = List.map snd per_point in
+    let max_error = List.fold_left Float.max 0.0 errors in
+    let mean_error = List.fold_left ( +. ) 0.0 errors /. float_of_int (List.length errors) in
+    let predicted_verdict = scaling_verdict ~times:predicted ~grid:target_grid () in
+    let measured_verdict = scaling_verdict ~times:measured ~grid:target_grid () in
+    {
+      max_error;
+      mean_error;
+      per_point;
+      predicted_verdict;
+      measured_verdict;
+      verdict_agrees = agreement ~predicted:predicted_verdict ~measured:measured_verdict;
+    }
+end

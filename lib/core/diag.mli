@@ -15,14 +15,20 @@
     each stage module, so existing scripts and the repro harness keep
     their exact behaviour. *)
 
-(** The pipeline stage that failed (Figure 3's three steps). *)
+(** The pipeline stage that failed (Figure 3's three steps), plus the
+    serving layer wrapped around them. *)
 type stage =
   | Collect  (** Measurement ingestion and validation (step A). *)
   | Extrapolate  (** Per-category stall regression (step B). *)
   | Translate  (** Stalls-per-core to execution time (step C). *)
+  | Serve
+      (** Request admission and scheduling in the prediction service
+          ({!Estima_service.Server}): a request shed before the pipeline
+          even starts — queue overflow, deadline already blown, an
+          unparseable wire payload. *)
 
 val stage_label : stage -> string
-(** ["collect"], ["extrapolate"] or ["translate"]. *)
+(** ["collect"], ["extrapolate"], ["translate"] or ["serve"]. *)
 
 (** Why the stage failed.  Every constructor is exercised by tests. *)
 type cause =
@@ -44,6 +50,15 @@ type cause =
   | No_realistic_fit of { window : int }
       (** No candidate survived the realism/growth/slope gates; [window]
           is the highest measured core count. *)
+  | Overloaded of { pending : int; capacity : int }
+      (** The service's bounded request queue is full: [pending] requests
+          were already admitted against a capacity of [capacity].  The
+          request was shed without running the pipeline; retry later. *)
+  | Deadline_exceeded of { waited_ms : int; timeout_ms : int }
+      (** The request's deadline passed while it waited in the service
+          queue: it had already waited [waited_ms] ms against a budget of
+          [timeout_ms] ms when a worker picked it up, so running the
+          pipeline could only produce an answer nobody is waiting for. *)
 
 val cause_label : cause -> string
 (** Stable machine-readable label, e.g. ["parse-error"],
@@ -67,10 +82,63 @@ val error : stage:stage -> subject:string -> cause -> ('a, t) result
 
 val exit_code : t -> int
 (** CLI exit code: 3 for {!No_realistic_fit} (the input was well-formed
-    but ESTIMA cannot extrapolate it), 2 for every bad-input cause. *)
+    but ESTIMA cannot extrapolate it), 4 for the transient service
+    conditions ({!Overloaded}, {!Deadline_exceeded} — retrying may
+    succeed), 2 for every bad-input cause. *)
 
 val raise_exn : t -> 'a
 (** The legacy exception for this diagnostic: [Failure] for
-    {!No_realistic_fit} (what the pipeline used to [failwith]),
-    [Invalid_argument] otherwise — both carrying {!render}.  Used by the
-    [_exn] compatibility wrappers. *)
+    {!No_realistic_fit} (what the pipeline used to [failwith]) and for
+    the transient service conditions, [Invalid_argument] otherwise — all
+    carrying {!render}.  Used by the [_exn] compatibility wrappers. *)
+
+(** Prediction-quality metrics (the paper's Table 4 criteria): maximum
+    relative error of predicted against measured execution times, and the
+    *scalability verdict* — does the application keep scaling, and if not,
+    at roughly which core count does it stop?
+
+    This lived in [Estima.Error] before the staged pipeline; now that
+    pipeline failures are typed {!t} values, the quality metrics are the
+    only "error" notion left and live here, next to the diagnostics they
+    complement: a {!t} says the pipeline could not answer, a {!Quality.t}
+    says how good an answer was. *)
+module Quality : sig
+  type verdict = Scales | Stops_at of int
+  (** [Stops_at k]: execution time reaches its minimum at [k] cores and
+      does not improve (beyond a tolerance) afterwards. *)
+
+  type t = {
+    max_error : float;  (** Max relative error over the evaluated points. *)
+    mean_error : float;
+    per_point : (int * float) list;  (** (threads, relative error). *)
+    predicted_verdict : verdict;
+    measured_verdict : verdict;
+    verdict_agrees : bool;
+  }
+
+  val evaluate :
+    predicted:float array ->
+    measured:float array ->
+    target_grid:float array ->
+    ?from_threads:int ->
+    unit ->
+    t
+  (** Compares the two curves; [from_threads] (default 1) restricts the
+      error statistics to core counts at or above it — the paper excludes
+      nothing by default but weak-scaling results exclude single-core.
+      Raises [Invalid_argument] on inconsistent lengths or measured
+      zeros. *)
+
+  val scaling_verdict :
+    ?tolerance:float -> times:float array -> grid:float array -> unit -> verdict
+  (** [Stops_at k] where [k] is the first core count that no higher count
+      improves upon by more than [tolerance] (default 5%); [Scales] when
+      that point lies within the top 15% of the grid. *)
+
+  val verdict_to_string : verdict -> string
+
+  val agreement : predicted:verdict -> measured:verdict -> bool
+  (** Verdicts agree when both scale, or both stop within a third of the
+      same core count — the paper's "no case predicts a different
+      behaviour" criterion on an integer grid. *)
+end

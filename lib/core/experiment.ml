@@ -28,9 +28,9 @@ type outcome = {
   measurements : Series.t;
   prediction : Predictor.t;
   truth : Series.t;
-  error : Error.t;
+  error : Diag.Quality.t;
   time_baseline : Time_extrapolation.t;
-  baseline_error : Error.t;
+  baseline_error : Diag.Quality.t;
 }
 
 let collector_options setup =
@@ -66,7 +66,7 @@ let run ?target_max setup =
   let truth = ground_truth ~max_threads:target_max setup in
   let measured_times = Series.times truth in
   let error =
-    Error.evaluate ~predicted:prediction.Predictor.predicted_times ~measured:measured_times
+    Diag.Quality.evaluate ~predicted:prediction.Predictor.predicted_times ~measured:measured_times
       ~target_grid:prediction.Predictor.target_grid ()
   in
   let* time_baseline =
@@ -76,7 +76,7 @@ let run ?target_max setup =
       ~frequency_scale ()
   in
   let baseline_error =
-    Error.evaluate ~predicted:time_baseline.Time_extrapolation.predicted_times
+    Diag.Quality.evaluate ~predicted:time_baseline.Time_extrapolation.predicted_times
       ~measured:measured_times ~target_grid:time_baseline.Time_extrapolation.target_grid ()
   in
   Ok { setup; measurements; prediction; truth; error; time_baseline; baseline_error }
@@ -87,4 +87,4 @@ let run_exn ?target_max setup =
 let max_error_from outcome ~from_threads =
   List.fold_left
     (fun acc (threads, e) -> if threads >= from_threads then Float.max acc e else acc)
-    0.0 outcome.error.Error.per_point
+    0.0 outcome.error.Diag.Quality.per_point

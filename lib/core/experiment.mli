@@ -29,9 +29,9 @@ type outcome = {
   measurements : Series.t;
   prediction : Predictor.t;
   truth : Series.t;  (** Full sweep on the target machine. *)
-  error : Error.t;
+  error : Diag.Quality.t;
   time_baseline : Time_extrapolation.t;  (** The Section 2.4 comparator. *)
-  baseline_error : Error.t;
+  baseline_error : Diag.Quality.t;
 }
 
 val measure : setup -> Series.t
@@ -48,6 +48,7 @@ val run : ?target_max:int -> setup -> (outcome, Diag.t) result
     name as its diagnostic subject. *)
 
 val run_exn : ?target_max:int -> setup -> outcome
+  [@@deprecated "use Experiment.run, which returns (_, Diag.t) result"]
 (** Legacy raising entry point: {!Diag.raise_exn} on [Error]. *)
 
 val max_error_from : outcome -> from_threads:int -> float

@@ -54,6 +54,7 @@ val extrapolate_exn :
   include_frontend:bool ->
   unit ->
   t
+  [@@deprecated "use Extrapolation.extrapolate, which returns (_, Diag.t) result"]
 (** Legacy raising entry point: {!Diag.raise_exn} on [Error]. *)
 
 val category_values : t -> string -> float array

@@ -52,6 +52,7 @@ val predict :
     {!Estima_obs.Trace.Diagnostic} event before the stage returns. *)
 
 val predict_exn : ?config:config -> series:Series.t -> target_max:int -> unit -> t
+  [@@deprecated "use Predictor.predict (or Api.predict), which returns (_, Diag.t) result"]
 (** Legacy raising entry point: {!Diag.raise_exn} on [Error]
     ([Invalid_argument] for bad input, [Failure] for no realistic fit). *)
 

@@ -186,7 +186,7 @@ let fit ?(config = Approximation.default_config) ~threads ~times ~stalls_per_cor
      let candidates =
        Array.of_list
          (List.concat_map
-            (fun prefix -> List.map (fun kernel -> (prefix, kernel)) Catalogue.all)
+            (fun prefix -> List.map (fun kernel -> (prefix, kernel)) config.Approximation.kernels)
             (List.init (n - config.min_prefix + 1) (fun i -> config.min_prefix + i)))
      in
      Estima_par.Fanout.map_consume candidates

@@ -53,6 +53,7 @@ val fit_exn :
   target_grid:float array ->
   unit ->
   t
+  [@@deprecated "use Scaling_factor.fit, which returns (_, Diag.t) result"]
 (** Legacy raising entry point: {!Diag.raise_exn} on [Error]. *)
 
 val predict_times : t -> stalls_per_core_grid:float array -> target_grid:float array -> float array

@@ -37,6 +37,7 @@ val predict_exn :
   ?frequency_scale:float ->
   unit ->
   t
+  [@@deprecated "use Time_extrapolation.predict, which returns (_, Diag.t) result"]
 (** Legacy raising entry point: {!Diag.raise_exn} on [Error] — a
     no-realistic-fit failure names the workload ([subject]) and the
     measured window in its message. *)

@@ -41,10 +41,10 @@ let aggregate_series (series : Series.t) =
 
 let truth_for entry = Lab.sweep ~entry ~machine:Machines.opteron48 ()
 
-let error_of prediction truth = (Lab.errors_against_truth ~prediction ~truth ()).Error.max_error
+let error_of prediction truth = (Lab.errors_against_truth ~prediction ~truth ()).Diag.Quality.max_error
 
 let agrees_of prediction truth =
-  (Lab.errors_against_truth ~prediction ~truth ()).Error.verdict_agrees
+  (Lab.errors_against_truth ~prediction ~truth ()).Diag.Quality.verdict_agrees
 
 let aggregate_row name =
   let entry = Option.get (Suite.find name) in
@@ -73,7 +73,7 @@ let sensitivity_row name =
       {
         Predictor.default_config with
         Predictor.include_software = entry.Suite.plugins <> [];
-        approximation = { Approximation.checkpoints; min_prefix };
+        approximation = { Approximation.default_config with Approximation.checkpoints; min_prefix };
       }
     in
     error_of (Lab.ok (Predictor.predict ~config ~series ~target_max:48 ())) truth

@@ -22,7 +22,7 @@ let error_with_software entry software =
       ~target_machine:Machines.opteron48 ()
   in
   let truth = Lab.sweep ~entry ~machine:Machines.opteron48 () in
-  (Lab.errors_against_truth ~prediction ~truth ()).Estima.Error.max_error
+  (Lab.errors_against_truth ~prediction ~truth ()).Estima.Diag.Quality.max_error
 
 let one entry =
   let error_without = error_with_software entry false in

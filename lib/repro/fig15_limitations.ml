@@ -6,7 +6,7 @@ open Estima
 type window_result = {
   measure_max : int;
   max_error : float;
-  verdict : Error.verdict;
+  verdict : Diag.Quality.verdict;
   predicted : float array;
 }
 
@@ -25,8 +25,8 @@ let window entry truth ~measure_machine ~measure_max =
   let error = Lab.errors_against_truth ~prediction ~truth () in
   {
     measure_max;
-    max_error = error.Error.max_error;
-    verdict = error.Error.predicted_verdict;
+    max_error = error.Diag.Quality.max_error;
+    verdict = error.Diag.Quality.predicted_verdict;
     predicted = prediction.Predictor.predicted_times;
   }
 

@@ -8,7 +8,7 @@
 type window_result = {
   measure_max : int;
   max_error : float;
-  verdict : Estima.Error.verdict;
+  verdict : Estima.Diag.Quality.verdict;
   predicted : float array;
 }
 

@@ -7,8 +7,8 @@ type result = {
   grid : float array;
   baseline_times : float array;
   measured_times : float array;
-  baseline_verdict : Error.verdict;
-  measured_verdict : Error.verdict;
+  baseline_verdict : Diag.Quality.verdict;
+  measured_verdict : Diag.Quality.verdict;
 }
 
 let compute () =
@@ -24,12 +24,12 @@ let compute () =
     grid;
     baseline_times = baseline.Time_extrapolation.predicted_times;
     measured_times;
-    baseline_verdict = Error.scaling_verdict ~times:baseline.Time_extrapolation.predicted_times ~grid ();
-    measured_verdict = Error.scaling_verdict ~times:measured_times ~grid ();
+    baseline_verdict = Diag.Quality.scaling_verdict ~times:baseline.Time_extrapolation.predicted_times ~grid ();
+    measured_verdict = Diag.Quality.scaling_verdict ~times:measured_times ~grid ();
   }
 
 let mispredicts r =
-  not (Error.agreement ~predicted:r.baseline_verdict ~measured:r.measured_verdict)
+  not (Diag.Quality.agreement ~predicted:r.baseline_verdict ~measured:r.measured_verdict)
 
 let run () =
   Render.heading "[F1] Figure 1 - time extrapolation for kmeans (Opteron, measure <=12)";

@@ -8,8 +8,8 @@ type result = {
   grid : float array;
   baseline_times : float array;  (** Time-extrapolation prediction. *)
   measured_times : float array;
-  baseline_verdict : Estima.Error.verdict;
-  measured_verdict : Estima.Error.verdict;
+  baseline_verdict : Estima.Diag.Quality.verdict;
+  measured_verdict : Estima.Diag.Quality.verdict;
 }
 
 val compute : unit -> result

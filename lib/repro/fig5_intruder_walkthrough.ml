@@ -7,7 +7,7 @@ type result = {
   prediction : Predictor.t;
   truth_times : float array;
   per_core_minimum_inside_window : bool;
-  error : Error.t;
+  error : Diag.Quality.t;
 }
 
 let compute () =
@@ -80,6 +80,6 @@ let run () =
   Render.printf "stalls-per-core minimum inside/near window with later rise: %b\n"
     r.per_core_minimum_inside_window;
   Render.printf "prediction: %s | measured: %s | max error %s\n%!"
-    (Render.verdict r.error.Error.predicted_verdict)
-    (Render.verdict r.error.Error.measured_verdict)
-    (Render.pct r.error.Error.max_error)
+    (Render.verdict r.error.Diag.Quality.predicted_verdict)
+    (Render.verdict r.error.Diag.Quality.measured_verdict)
+    (Render.pct r.error.Diag.Quality.max_error)

@@ -11,7 +11,7 @@ type result = {
   per_core_minimum_inside_window : bool;
       (** The paper's key observation: total stalls per core decrease up to
           ~12 cores, then increase — the early warning of the slowdown. *)
-  error : Estima.Error.t;
+  error : Estima.Diag.Quality.t;
 }
 
 val compute : unit -> result

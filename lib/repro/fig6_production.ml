@@ -9,7 +9,7 @@ type app_result = {
   grid : float array;
   predicted : float array;
   measured : float array;
-  error : Error.t;
+  error : Diag.Quality.t;
 }
 
 type result = app_result list
@@ -55,8 +55,8 @@ let run () =
         ~grid:r.grid
         ~columns:[ ("predicted (s)", r.predicted); ("measured (s)", r.measured) ];
       Render.printf "max error %s | prediction: %s | measured: %s | verdict agreement: %b\n%!"
-        (Render.pct r.error.Error.max_error)
-        (Render.verdict r.error.Error.predicted_verdict)
-        (Render.verdict r.error.Error.measured_verdict)
-        r.error.Error.verdict_agrees)
+        (Render.pct r.error.Diag.Quality.max_error)
+        (Render.verdict r.error.Diag.Quality.predicted_verdict)
+        (Render.verdict r.error.Diag.Quality.measured_verdict)
+        r.error.Diag.Quality.verdict_agrees)
     (compute ())

@@ -12,7 +12,7 @@ type app_result = {
   grid : float array;
   predicted : float array;
   measured : float array;
-  error : Estima.Error.t;
+  error : Estima.Diag.Quality.t;
 }
 
 type result = app_result list

@@ -28,15 +28,15 @@ let one name =
       ~target_machine:Machines.opteron48 ()
   in
   let baseline_error =
-    Error.evaluate ~predicted:baseline.Time_extrapolation.predicted_times
+    Diag.Quality.evaluate ~predicted:baseline.Time_extrapolation.predicted_times
       ~measured:(Series.times truth) ~target_grid:baseline.Time_extrapolation.target_grid ()
   in
   {
     name;
-    estima_error = error.Error.max_error;
-    baseline_error = baseline_error.Error.max_error;
-    estima_agrees = error.Error.verdict_agrees;
-    baseline_agrees = baseline_error.Error.verdict_agrees;
+    estima_error = error.Diag.Quality.max_error;
+    baseline_error = baseline_error.Diag.Quality.max_error;
+    estima_agrees = error.Diag.Quality.verdict_agrees;
+    baseline_agrees = baseline_error.Diag.Quality.verdict_agrees;
   }
 
 let compute () = List.map one workloads

@@ -9,7 +9,7 @@ type curve = {
   predicted : float array;
   baseline : float array;
   measured : float array;
-  error : Error.t;
+  error : Diag.Quality.t;
 }
 
 type result = curve list
@@ -45,9 +45,9 @@ let run () =
       Render.series
         ~title:
           (Printf.sprintf "%s: max err %s, prediction %s / measured %s" c.name
-             (Render.pct c.error.Error.max_error)
-             (Render.verdict c.error.Error.predicted_verdict)
-             (Render.verdict c.error.Error.measured_verdict))
+             (Render.pct c.error.Diag.Quality.max_error)
+             (Render.verdict c.error.Diag.Quality.predicted_verdict)
+             (Render.verdict c.error.Diag.Quality.measured_verdict))
         ~grid:c.grid
         ~columns:
           [ ("ESTIMA (s)", c.predicted); ("time-extrap (s)", c.baseline); ("measured (s)", c.measured) ])

@@ -8,7 +8,7 @@ type curve = {
   predicted : float array;
   baseline : float array;
   measured : float array;
-  error : Estima.Error.t;
+  error : Estima.Diag.Quality.t;
 }
 
 type result = curve list

@@ -35,8 +35,8 @@ let one name =
     grid = prediction.Predictor.target_grid;
     predicted = prediction.Predictor.predicted_times;
     measured = Series.times truth;
-    max_error_excl_single = error.Error.max_error;
-    verdict_agrees = error.Error.verdict_agrees;
+    max_error_excl_single = error.Diag.Quality.max_error;
+    verdict_agrees = error.Diag.Quality.verdict_agrees;
   }
 
 let compute () = [ one "genome"; one "intruder" ]

@@ -148,13 +148,13 @@ let predict ?software ?(checkpoints = Approximation.default_config.Approximation
   else ok (Predictor.predict ~config ~series ~target_max ())
 
 let errors_against_truth ~prediction ~truth ?(from_threads = 1) () =
-  Error.evaluate ~predicted:prediction.Predictor.predicted_times ~measured:(Series.times truth)
+  Diag.Quality.evaluate ~predicted:prediction.Predictor.predicted_times ~measured:(Series.times truth)
     ~target_grid:prediction.Predictor.target_grid ~from_threads ()
 
-let max_error_upto (error : Error.t) ~threads =
+let max_error_upto (error : Diag.Quality.t) ~threads =
   List.fold_left
     (fun acc (n, e) -> if n <= threads then Float.max acc e else acc)
-    0.0 error.Error.per_point
+    0.0 error.Diag.Quality.per_point
 
 let baseline ~entry ~measure_machine ~measure_max ~target_machine () =
   let series = measure ~entry ~machine:measure_machine ~max_threads:measure_max () in

@@ -47,9 +47,9 @@ val sweep_threads :
 (** Ground-truth sweep up to an explicit thread count (SMT included). *)
 
 val errors_against_truth :
-  prediction:Predictor.t -> truth:Series.t -> ?from_threads:int -> unit -> Error.t
+  prediction:Predictor.t -> truth:Series.t -> ?from_threads:int -> unit -> Diag.Quality.t
 
-val max_error_upto : Error.t -> threads:int -> float
+val max_error_upto : Diag.Quality.t -> threads:int -> float
 (** Maximum per-point error restricted to core counts <= [threads] —
     Table 4's "2 CPUs / 3 CPUs / 4 CPUs" columns. *)
 

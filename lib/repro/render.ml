@@ -132,4 +132,4 @@ let time_s x = Printf.sprintf "%.4gs" x
 
 let float3 x = Printf.sprintf "%.3g" x
 
-let verdict = Estima.Error.verdict_to_string
+let verdict = Estima.Diag.Quality.verdict_to_string

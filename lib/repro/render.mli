@@ -55,4 +55,4 @@ val time_s : float -> string
 val float3 : float -> string
 (** Three significant digits. *)
 
-val verdict : Estima.Error.verdict -> string
+val verdict : Estima.Diag.Quality.verdict -> string

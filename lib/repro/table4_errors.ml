@@ -45,8 +45,8 @@ let one entry =
     opteron_3cpu = Lab.max_error_upto opteron_error ~threads:36;
     opteron_4cpu = Lab.max_error_upto opteron_error ~threads:48;
     xeon20_2cpu = Lab.max_error_upto xeon_error ~threads:20;
-    opteron_agrees = opteron_error.Error.verdict_agrees;
-    xeon20_agrees = xeon_error.Error.verdict_agrees;
+    opteron_agrees = opteron_error.Diag.Quality.verdict_agrees;
+    xeon20_agrees = xeon_error.Diag.Quality.verdict_agrees;
   }
 
 let summarize get rows =

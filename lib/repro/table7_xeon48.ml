@@ -18,7 +18,7 @@ let one entry =
         ~target_machine:Machines.xeon20 ()
     in
     let truth = Lab.sweep ~entry ~machine:Machines.xeon20 () in
-    (Lab.errors_against_truth ~prediction ~truth ~from_threads:11 ()).Error.max_error
+    (Lab.errors_against_truth ~prediction ~truth ~from_threads:11 ()).Diag.Quality.max_error
   in
   (* Both Xeon20 sockets (20 cores, NUMA captured) to the 48-core Xeon48. *)
   let xeon48_error =
@@ -27,7 +27,7 @@ let one entry =
         ~target_machine:Machines.xeon48 ()
     in
     let truth = Lab.sweep ~entry ~machine:Machines.xeon48 () in
-    (Lab.errors_against_truth ~prediction ~truth ~from_threads:21 ()).Error.max_error
+    (Lab.errors_against_truth ~prediction ~truth ~from_threads:21 ()).Diag.Quality.max_error
   in
   { name; xeon20_error; xeon48_error }
 

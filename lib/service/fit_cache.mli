@@ -1,0 +1,28 @@
+(** An LRU cache for finished predictions.
+
+    The service keys results by a canonical hash of the ingested series
+    plus the numeric slice of the configuration
+    ({!Estima.Config.fingerprint}), so a hit is guaranteed to return
+    exactly the bytes a fresh pipeline run would produce.  Capacity is
+    bounded; inserting into a full cache evicts the least recently used
+    entry ({!find} counts as a use).
+
+    Not thread-safe by itself — the service accesses it from the
+    dispatcher only, which is the design: workers compute, the
+    dispatcher owns the cache. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity >= 1]; [Invalid_argument] otherwise. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+
+val find : 'a t -> string -> 'a option
+(** Look up a key and mark it most recently used. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Insert or replace; evicts the LRU entry when full.  The inserted
+    entry becomes most recently used. *)

@@ -1,0 +1,38 @@
+(** A minimal JSON reader/writer for the wire protocol.
+
+    The service speaks newline-delimited JSON; each request and response
+    is one value on one line.  This covers exactly what the protocol
+    needs — objects, arrays, strings, integers, floats, booleans, null —
+    with no dependency beyond the stdlib.
+
+    Printing is canonical enough for tests to byte-compare responses:
+    object members print in the order given, strings escape the
+    mandatory characters only, integers print as integers, and the
+    printer never emits a newline (so one value is always one line). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse one JSON value; trailing input after the value (other than
+    whitespace) is an error.  The error string says what was expected
+    and at which byte offset. *)
+
+val to_string : t -> string
+(** Canonical one-line rendering. *)
+
+(** {1 Accessors} — each returns [None] on a shape mismatch. *)
+
+val member : string -> t -> t option
+(** Object member lookup; [None] for absent members and non-objects. *)
+
+val to_string_opt : t -> string option
+
+val to_int_opt : t -> int option
+(** Accepts [Int]; also a [Float] with an exact integer value. *)

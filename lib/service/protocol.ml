@@ -1,0 +1,94 @@
+module Diag = Estima.Diag
+
+type request =
+  | Predict of {
+      id : Json.t;
+      file : string option;
+      csv : string option;
+      spec_name : string option;
+      target_max : int option;
+      timeout_ms : int option;
+    }
+  | Metrics of { id : Json.t }
+  | Shutdown of { id : Json.t }
+
+let request_id = function
+  | Predict { id; _ } -> id
+  | Metrics { id } -> id
+  | Shutdown { id } -> id
+
+let bad_request id msg =
+  Error (id, Diag.make ~stage:Diag.Serve ~subject:"request" (Diag.Parse_error { file = "<wire>"; line = 0; msg }))
+
+let member_string json key =
+  match Json.member key json with
+  | None | Some Json.Null -> Ok None
+  | Some v -> (
+      match Json.to_string_opt v with
+      | Some s -> Ok (Some s)
+      | None -> Error (Printf.sprintf "%S must be a string" key))
+
+let member_int json key =
+  match Json.member key json with
+  | None | Some Json.Null -> Ok None
+  | Some v -> (
+      match Json.to_int_opt v with
+      | Some n -> Ok (Some n)
+      | None -> Error (Printf.sprintf "%S must be an integer" key))
+
+let parse_request line =
+  match Json.parse line with
+  | Error msg -> bad_request Json.Null msg
+  | Ok json -> (
+      let id = Option.value ~default:Json.Null (Json.member "id" json) in
+      let ( let* ) r f = match r with Ok v -> f v | Error msg -> bad_request id msg in
+      let* op = member_string json "op" in
+      match op with
+      | None -> bad_request id "missing \"op\""
+      | Some "metrics" -> Ok (Metrics { id })
+      | Some "shutdown" -> Ok (Shutdown { id })
+      | Some "predict" ->
+          let* file = member_string json "file" in
+          let* csv = member_string json "csv" in
+          let* spec_name = member_string json "spec" in
+          let* target_max = member_int json "target_max" in
+          let* timeout_ms = member_int json "timeout_ms" in
+          if file = None && csv = None then
+            bad_request id "predict needs \"file\" or \"csv\""
+          else Ok (Predict { id; file; csv; spec_name; target_max; timeout_ms })
+      | Some op -> bad_request id (Printf.sprintf "unknown op %S" op))
+
+let predict_response ~id ~summary ~header ~rows ~verdict =
+  Json.to_string
+    (Json.Obj
+       [
+         ("id", id);
+         ("ok", Json.Bool true);
+         ("summary", Json.String summary);
+         ("header", Json.String header);
+         ("rows", Json.List (List.map (fun r -> Json.String r) rows));
+         ("verdict", Json.String verdict);
+       ])
+
+let metrics_response ~id ~dump =
+  Json.to_string (Json.Obj [ ("id", id); ("ok", Json.Bool true); ("metrics", Json.String dump) ])
+
+let shutdown_response ~id =
+  Json.to_string (Json.Obj [ ("id", id); ("ok", Json.Bool true); ("bye", Json.Bool true) ])
+
+let error_response ~id (diag : Diag.t) =
+  Json.to_string
+    (Json.Obj
+       [
+         ("id", id);
+         ("ok", Json.Bool false);
+         ( "error",
+           Json.Obj
+             [
+               ("stage", Json.String (Diag.stage_label diag.Diag.stage));
+               ("subject", Json.String diag.Diag.subject);
+               ("cause", Json.String (Diag.cause_label diag.Diag.cause));
+               ("message", Json.String (Diag.render diag));
+               ("exit_code", Json.Int (Diag.exit_code diag));
+             ] );
+       ])

@@ -1,0 +1,63 @@
+(** The service wire protocol: newline-delimited JSON, one request and
+    one response per line.
+
+    Requests are objects with an ["op"] member and an optional ["id"]
+    (any JSON value, echoed verbatim in the response so clients can
+    pipeline):
+
+    {v
+{"id":1,"op":"predict","file":"examples/data/kmeans_opteron.csv"}
+{"id":2,"op":"predict","csv":"threads,time_s,...\n1,..."}
+{"id":3,"op":"metrics"}
+{"id":4,"op":"shutdown"}
+    v}
+
+    [predict] takes the measurements either as a server-side CSV path
+    (["file"]) or inline (["csv"]), plus optional ["spec"] (workload
+    name, defaults to the file basename), ["target_max"] (defaults to
+    the server's target machine core count) and ["timeout_ms"]
+    (overrides the server's default queue deadline for this request).
+
+    Successful predict responses carry exactly the text [estima_cli
+    predict] prints, split into its parts:
+
+    {v
+{"id":1,"ok":true,"summary":"...","header":"cores  ...","rows":["    1  ...",...],"verdict":"the application scales"}
+    v}
+
+    Failures of any kind are a typed {!Estima.Diag.t} on the wire:
+
+    {v
+{"id":1,"ok":false,"error":{"stage":"serve","subject":"request","cause":"overloaded","message":"...","exit_code":4}}
+    v} *)
+
+type request =
+  | Predict of {
+      id : Json.t;
+      file : string option;  (** Server-side CSV path. *)
+      csv : string option;  (** Inline CSV document (wins over [file] for data). *)
+      spec_name : string option;
+      target_max : int option;
+      timeout_ms : int option;
+    }
+  | Metrics of { id : Json.t }
+  | Shutdown of { id : Json.t }
+
+val request_id : request -> Json.t
+
+val parse_request : string -> (request, Json.t * Estima.Diag.t) result
+(** Parse one request line.  On failure the diagnostic has stage
+    [Serve] and cause {!Estima.Diag.Parse_error}; the returned id is
+    whatever ["id"] member could still be extracted ([Null] otherwise),
+    so the error response can be correlated. *)
+
+(** {1 Responses} — already rendered to one line, no trailing newline. *)
+
+val predict_response :
+  id:Json.t -> summary:string -> header:string -> rows:string list -> verdict:string -> string
+
+val metrics_response : id:Json.t -> dump:string -> string
+
+val shutdown_response : id:Json.t -> string
+
+val error_response : id:Json.t -> Estima.Diag.t -> string

@@ -1,0 +1,252 @@
+module Api = Estima.Api
+module Config = Estima.Config
+module Diag = Estima.Diag
+module Metrics = Estima_obs.Metrics
+module Topology = Estima_machine.Topology
+
+type config = {
+  machine : Topology.t;
+  target : Topology.t option;
+  base : Config.t;
+  jobs : int;
+  queue_capacity : int;
+  cache_capacity : int;
+  default_timeout_ms : int option;
+}
+
+let default_config ~machine =
+  {
+    machine;
+    target = None;
+    base = Config.default;
+    jobs = 1;
+    queue_capacity = 64;
+    cache_capacity = 128;
+    default_timeout_ms = None;
+  }
+
+(* The cache stores the rendered response parts, not the prediction: a
+   hit then replays the exact bytes of the run that filled it, and the
+   byte-identity guarantee needs no argument about re-rendering. *)
+type rendered = { summary : string; rows : string list; verdict : string }
+
+type t = {
+  config : config;
+  clock : unit -> float;
+  pool : Estima_par.Pool.t;
+  cache : rendered Fit_cache.t;
+  registry : Metrics.t;
+  mutable alive : bool;
+}
+
+let create ?(clock = Unix.gettimeofday) config =
+  let need what n = if n < 1 then invalid_arg (Printf.sprintf "Server.create: %s = %d" what n) in
+  need "jobs" config.jobs;
+  need "queue_capacity" config.queue_capacity;
+  need "cache_capacity" config.cache_capacity;
+  (match config.default_timeout_ms with
+  | Some ms when ms < 0 -> invalid_arg (Printf.sprintf "Server.create: default_timeout_ms = %d" ms)
+  | _ -> ());
+  (match Config.validate config.base with
+  | Ok () -> ()
+  | Error diag -> invalid_arg (Diag.render diag));
+  {
+    config;
+    clock;
+    pool = Estima_par.Pool.create ~jobs:config.jobs;
+    cache = Fit_cache.create ~capacity:config.cache_capacity;
+    registry = Metrics.create ();
+    alive = true;
+  }
+
+let metrics t = t.registry
+
+let target_machine t = Option.value ~default:t.config.machine t.config.target
+
+(* One predict request, resolved by the dispatcher up to the point where
+   only pipeline work is left. *)
+type job = {
+  arrival : float;
+  key : string;
+  series : Estima_counters.Series.t;
+  target_max : int;
+}
+
+type slot =
+  | Ready of string  (* response already known: parse error, shed, cache hit *)
+  | Run of { id : Json.t; job : job }  (* needs the pipeline *)
+  | Bye of Json.t  (* shutdown acknowledgement, built late *)
+
+let count t name = Metrics.Counter.incr (Metrics.counter t.registry name) [@@inline]
+
+let observe_latency t arrival =
+  Metrics.Histogram.observe
+    (Metrics.histogram t.registry "estima_latency_seconds")
+    (Float.max 0.0 (t.clock () -. arrival))
+
+let shed t ~id ~arrival cause counter_name =
+  count t counter_name;
+  count t "estima_errors_total";
+  observe_latency t arrival;
+  Ready (Protocol.error_response ~id (Diag.make ~stage:Diag.Serve ~subject:"request" cause))
+
+let cache_key t ~series ~target_max =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\n"
+          [
+            Estima_counters.Csv_export.series_to_csv series;
+            Config.fingerprint t.config.base;
+            Printf.sprintf "target_max=%d" target_max;
+          ]))
+
+let resolve_series t ~(file : string option) ~csv ~spec_name =
+  match csv with
+  | Some csv -> Api.series_of_csv ~file:(Option.value ~default:"<wire>" file) ?spec_name ~machine:t.config.machine csv
+  | None -> (
+      match file with
+      | Some file -> Api.load_series ?spec_name ~machine:t.config.machine file
+      | None -> assert false (* Protocol.parse_request rejects this shape *))
+
+let render prediction =
+  {
+    summary = Api.render_summary prediction;
+    rows = Api.render_rows prediction;
+    verdict = Api.render_verdict prediction;
+  }
+
+let respond_rendered ~id rendered =
+  Protocol.predict_response ~id ~summary:rendered.summary ~header:Api.rows_header
+    ~rows:rendered.rows ~verdict:rendered.verdict
+
+(* Admission and resolution of one predict request.  [admitted] counts
+   predict requests already admitted from this batch — the bounded
+   queue; [pending] the cache keys already being computed for it — a
+   duplicate payload coalesces onto the in-flight computation and counts
+   as a cache hit, so hit/miss counters depend only on the request
+   stream, not on how it happened to clump into batches. *)
+let admit t ~admitted ~pending ~id ~file ~csv ~spec_name ~target_max ~timeout_ms:_ ~arrival =
+  count t "estima_predict_total";
+  if admitted >= t.config.queue_capacity then
+    shed t ~id ~arrival
+      (Diag.Overloaded { pending = admitted; capacity = t.config.queue_capacity })
+      "estima_shed_overload_total"
+  else
+    match resolve_series t ~file ~csv ~spec_name with
+    | Error diag ->
+        count t "estima_errors_total";
+        observe_latency t arrival;
+        Ready (Protocol.error_response ~id diag)
+    | Ok series ->
+        let target_max =
+          Option.value ~default:(Topology.cores (target_machine t)) target_max
+        in
+        let key = cache_key t ~series ~target_max in
+        (match Fit_cache.find t.cache key with
+        | Some rendered ->
+            count t "estima_cache_hits_total";
+            observe_latency t arrival;
+            Ready (respond_rendered ~id rendered)
+        | None ->
+            if Hashtbl.mem pending key then count t "estima_cache_hits_total"
+            else begin
+              count t "estima_cache_misses_total";
+              Hashtbl.replace pending key ()
+            end;
+            Run { id; job = { arrival; key; series; target_max } })
+
+let deadline_of t request_timeout =
+  match request_timeout with Some ms -> Some ms | None -> t.config.default_timeout_ms
+
+let handle_batch t lines =
+  if not t.alive then failwith "Server.handle_batch: server is shut down";
+  let arrival = t.clock () in
+  let shutdown_seen = ref false in
+  (* Pass 1 (dispatcher): parse, admit, ingest, consult the cache. *)
+  let admitted = ref 0 in
+  let pending = Hashtbl.create 16 in
+  let slots =
+    List.map
+      (fun line ->
+        count t "estima_requests_total";
+        match Protocol.parse_request line with
+        | Error (id, diag) ->
+            count t "estima_errors_total";
+            observe_latency t arrival;
+            Ready (Protocol.error_response ~id diag)
+        | Ok (Protocol.Metrics { id }) ->
+            Ready (Protocol.metrics_response ~id ~dump:(Metrics.render t.registry))
+        | Ok (Protocol.Shutdown { id }) ->
+            shutdown_seen := true;
+            Bye id
+        | Ok (Protocol.Predict { id; file; csv; spec_name; target_max; timeout_ms }) ->
+            let slot =
+              admit t ~admitted:!admitted ~pending ~id ~file ~csv ~spec_name ~target_max
+                ~timeout_ms ~arrival
+            in
+            (match slot with
+            | Run { id; job } -> (
+                incr admitted;
+                (* Deadline check happens when the dispatcher is about to
+                   hand the job to the pool — i.e. now, after the queue
+                   wait such as it was. *)
+                match deadline_of t timeout_ms with
+                | Some timeout_ms ->
+                    let waited_ms =
+                      int_of_float (Float.ceil ((t.clock () -. job.arrival) *. 1000.0))
+                    in
+                    if waited_ms > timeout_ms then
+                      shed t ~id ~arrival:job.arrival
+                        (Diag.Deadline_exceeded { waited_ms; timeout_ms })
+                        "estima_shed_deadline_total"
+                    else Run { id; job }
+                | None -> Run { id; job })
+            | slot -> slot))
+      lines
+  in
+  (* Pass 2 (workers): unique uncached jobs fan out on the pool. *)
+  let pending =
+    List.filter_map (function Run { job; _ } -> Some job | _ -> None) slots
+  in
+  let unique = Hashtbl.create 16 in
+  List.iter (fun job -> if not (Hashtbl.mem unique job.key) then Hashtbl.add unique job.key job) pending;
+  let jobs = Array.of_list (Hashtbl.fold (fun _ job acc -> job :: acc) unique []) in
+  Array.sort (fun a b -> String.compare a.key b.key) jobs;
+  let outcomes =
+    Estima_par.Pool.run t.pool jobs ~f:(fun job ->
+        Api.predict ~config:t.config.base ~series:job.series ~target_max:job.target_max ())
+  in
+  let results = Hashtbl.create 16 in
+  Array.iteri
+    (fun i outcome ->
+      match outcome with
+      | Ok result -> Hashtbl.replace results jobs.(i).key result
+      | Error (exn, bt) -> Printexc.raise_with_backtrace exn bt)
+    outcomes;
+  (* Pass 3 (dispatcher): fill the cache, build responses in order. *)
+  let responses =
+    List.map
+      (fun slot ->
+        match slot with
+        | Ready response -> response
+        | Bye id -> Protocol.shutdown_response ~id
+        | Run { id; job } -> (
+            match Hashtbl.find results job.key with
+            | Ok prediction ->
+                let rendered = render prediction in
+                Fit_cache.add t.cache job.key rendered;
+                observe_latency t job.arrival;
+                respond_rendered ~id rendered
+            | Error diag ->
+                count t "estima_errors_total";
+                observe_latency t job.arrival;
+                Protocol.error_response ~id diag))
+      slots
+  in
+  (responses, if !shutdown_seen then `Shutdown else `Continue)
+
+let shutdown t =
+  if t.alive then begin
+    t.alive <- false;
+    Estima_par.Pool.shutdown t.pool
+  end

@@ -1,0 +1,68 @@
+(** The prediction server: a transport-independent request dispatcher.
+
+    {!handle_batch} takes the request lines a transport has read and
+    returns the response lines to write, in request order.  Everything
+    the tentpole promises lives here, where tests can drive it
+    in-process and deterministically:
+
+    - {b bounded queue}: at most [queue_capacity] predict requests are
+      admitted per batch; the rest are shed with a typed
+      {!Estima.Diag.Overloaded} before any pipeline work starts;
+    - {b deadlines}: an admitted request whose queue wait already
+      exceeds its deadline (its own ["timeout_ms"] or the server
+      default) is shed with {!Estima.Diag.Deadline_exceeded} instead of
+      computing an answer nobody is waiting for — cache hits are exempt,
+      they are served instantly regardless;
+    - {b result cache}: results are cached in an LRU keyed by the
+      canonical CSV of the ingested series plus
+      {!Estima.Config.fingerprint} and the target core count, so a hit
+      returns byte-identical text to a fresh run, and configs differing
+      only in observationally-neutral knobs share entries;
+    - {b worker pool}: uncached work (deduplicated within the batch by
+      cache key — a duplicate payload coalesces onto the in-flight
+      computation and counts as a cache hit) fans out on an
+      {!Estima_par.Pool} of [jobs] domains; responses are byte-identical
+      for any [jobs];
+    - {b metrics}: counters for requests, cache hits/misses, sheds and
+      failures, plus a latency histogram, rendered by the [metrics]
+      command via {!Estima_obs.Metrics.render}.
+
+    The dispatcher owns the cache and the metrics registry; worker
+    domains only run the pure pipeline.  [handle_batch] is therefore not
+    re-entrant — one transport loop calls it sequentially. *)
+
+type config = {
+  machine : Estima_machine.Topology.t;  (** Machine the CSVs were measured on. *)
+  target : Estima_machine.Topology.t option;
+      (** Machine to extrapolate to; [None] = same as [machine].  Decides
+          the default target core count. *)
+  base : Estima.Config.t;  (** Pipeline knobs, shared by every request. *)
+  jobs : int;  (** Worker pool size, >= 1. *)
+  queue_capacity : int;  (** Max predict requests admitted per batch, >= 1. *)
+  cache_capacity : int;  (** LRU entries, >= 1. *)
+  default_timeout_ms : int option;
+      (** Queue-wait deadline applied when a request names none;
+          [None] = requests wait forever. *)
+}
+
+val default_config : machine:Estima_machine.Topology.t -> config
+(** [target = None], {!Estima.Config.default} knobs, [jobs = 1],
+    [queue_capacity = 64], [cache_capacity = 128], no default timeout. *)
+
+type t
+
+val create : ?clock:(unit -> float) -> config -> t
+(** Validates the configuration ([Invalid_argument] on nonsense) and
+    spawns the worker pool.  [clock] (seconds, monotonic enough;
+    default [Unix.gettimeofday]) exists so tests can drive the deadline
+    path deterministically. *)
+
+val metrics : t -> Estima_obs.Metrics.t
+
+val handle_batch : t -> string list -> string list * [ `Continue | `Shutdown ]
+(** Process one batch of request lines; returns one response line per
+    request, in order, and whether a [shutdown] request was seen (the
+    whole batch is still processed first). *)
+
+val shutdown : t -> unit
+(** Join the worker pool.  Idempotent; [handle_batch] afterwards raises. *)

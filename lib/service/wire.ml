@@ -1,0 +1,95 @@
+(* Line framing over a byte stream: accumulate reads in a per-stream
+   buffer, peel off every complete line.  [\r\n] is accepted as [\n] so
+   hand-typed sessions work from any terminal. *)
+
+let split_lines buffer =
+  let data = Buffer.contents buffer in
+  match String.rindex_opt data '\n' with
+  | None -> []
+  | Some last ->
+      Buffer.clear buffer;
+      Buffer.add_string buffer (String.sub data (last + 1) (String.length data - last - 1));
+      String.sub data 0 last |> String.split_on_char '\n'
+      |> List.map (fun line ->
+             let n = String.length line in
+             if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line)
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go off = if off < len then go (off + Unix.write_substring fd s off (len - off)) in
+  go 0
+
+let write_responses fd responses =
+  match responses with
+  | [] -> ()
+  | responses -> write_all fd (String.concat "\n" responses ^ "\n")
+
+let serve_stdio server =
+  let buffer = Buffer.create 4096 in
+  let chunk = Bytes.create 65536 in
+  let rec loop () =
+    match Unix.read Unix.stdin chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n -> (
+        Buffer.add_subbytes buffer chunk 0 n;
+        match split_lines buffer with
+        | [] -> loop ()
+        | lines -> (
+            let responses, verdict = Server.handle_batch server lines in
+            write_responses Unix.stdout responses;
+            match verdict with `Shutdown -> () | `Continue -> loop ()))
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+  in
+  loop ()
+
+type connection = { fd : Unix.file_descr; buffer : Buffer.t }
+
+let serve_socket server ~path =
+  (* A peer hanging up mid-write must surface as EPIPE, not kill us. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.unlink path with Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  Unix.bind listener (Unix.ADDR_UNIX path);
+  Unix.listen listener 16;
+  let connections : (Unix.file_descr, connection) Hashtbl.t = Hashtbl.create 8 in
+  let close_connection conn =
+    Hashtbl.remove connections conn.fd;
+    try Unix.close conn.fd with Unix.Unix_error _ -> ()
+  in
+  let chunk = Bytes.create 65536 in
+  let stop = ref false in
+  let service conn =
+    match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+    | 0 -> close_connection conn
+    | n -> (
+        Buffer.add_subbytes conn.buffer chunk 0 n;
+        match split_lines conn.buffer with
+        | [] -> ()
+        | lines -> (
+            let responses, verdict = Server.handle_batch server lines in
+            (try write_responses conn.fd responses
+             with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> close_connection conn);
+            match verdict with `Shutdown -> stop := true | `Continue -> ()))
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> close_connection conn
+  in
+  while not !stop do
+    let fds = listener :: Hashtbl.fold (fun fd _ acc -> fd :: acc) connections [] in
+    match Unix.select fds [] [] (-1.0) with
+    | readable, _, _ ->
+        List.iter
+          (fun fd ->
+            if fd = listener then begin
+              let client, _ = Unix.accept listener in
+              Hashtbl.replace connections client { fd = client; buffer = Buffer.create 4096 }
+            end
+            else
+              match Hashtbl.find_opt connections fd with
+              | Some conn -> service conn
+              | None -> ())
+          readable
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  Hashtbl.iter (fun _ conn -> try Unix.close conn.fd with Unix.Unix_error _ -> ()) connections;
+  Unix.close listener;
+  try Unix.unlink path with Unix.Unix_error _ -> ()

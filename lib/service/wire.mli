@@ -1,0 +1,20 @@
+(** Transports for the prediction server.
+
+    Both speak the newline-delimited JSON of {!Protocol}: every complete
+    line that has arrived when the loop wakes up is handed to
+    {!Server.handle_batch} as one batch — a pipelining client thus gets
+    request batching (and within-batch cache dedup) for free, while an
+    interactive client sees one-request batches.
+
+    Both return normally after a [shutdown] request (its response is
+    written first) or when the peer side closes; they do not call
+    {!Server.shutdown} — the caller owns the server's lifetime. *)
+
+val serve_stdio : Server.t -> unit
+(** Serve one session over stdin/stdout.  Returns on EOF or [shutdown]. *)
+
+val serve_socket : Server.t -> path:string -> unit
+(** Listen on a Unix domain socket at [path] (an existing socket file
+    there is replaced), serving any number of concurrent connections
+    from one thread via [select].  Returns once a [shutdown] request has
+    been answered; the socket file is removed on the way out. *)

@@ -4,6 +4,11 @@
    guarantee of Series_io; report-file scanning edge cases; and the
    grep-enforced no-raise policy for the staged pipeline sources. *)
 
+(* The deprecated [_exn] shims are exercised on purpose below, to pin
+   their exception classes until they are removed. *)
+[@@@alert "-deprecated"]
+[@@@warning "-3"]
+
 open Estima_machine
 open Estima_workloads
 open Estima_counters
@@ -33,6 +38,8 @@ let every_cause =
     (Diag.Bad_value { what = "frequency_scale"; value = -1.0 }, "bad-value", 2);
     (Diag.Target_below_window { target = 4; window = 12 }, "target-below-window", 2);
     (Diag.No_realistic_fit { window = 12 }, "no-realistic-fit", 3);
+    (Diag.Overloaded { pending = 64; capacity = 64 }, "overloaded", 4);
+    (Diag.Deadline_exceeded { waited_ms = 120; timeout_ms = 100 }, "deadline-exceeded", 4);
   ]
 
 let test_labels_and_exit_codes () =
@@ -44,7 +51,12 @@ let test_labels_and_exit_codes () =
     every_cause;
   List.iter
     (fun (stage, label) -> Alcotest.(check string) "stage label" label (Diag.stage_label stage))
-    [ (Diag.Collect, "collect"); (Diag.Extrapolate, "extrapolate"); (Diag.Translate, "translate") ]
+    [
+      (Diag.Collect, "collect");
+      (Diag.Extrapolate, "extrapolate");
+      (Diag.Translate, "translate");
+      (Diag.Serve, "serve");
+    ]
 
 let test_render_format () =
   let d =

@@ -1,6 +1,11 @@
 (* Tests for the ESTIMA core pipeline: approximation, extrapolation,
    scaling factor, predictor, baseline, errors, bottlenecks, experiment. *)
 
+(* The deprecated [_exn] shims are exercised on purpose below, to pin
+   their exception classes until they are removed. *)
+[@@@alert "-deprecated"]
+[@@@warning "-3"]
+
 open Estima_machine
 open Estima_workloads
 open Estima_counters
@@ -81,13 +86,13 @@ let test_approximate_short_series_fallback () =
 let test_approximate_rejects_bad_config () =
   expect_cause "bad config refused" "bad-config"
     (Approximation.approximate
-       ~config:{ Approximation.checkpoints = 0; min_prefix = 3 }
+       ~config:{ Approximation.default_config with Approximation.checkpoints = 0; min_prefix = 3 }
        ~xs:[| 1.0 |] ~ys:[| 1.0 |] ~target_max:4.0 ~require_nonnegative:false ());
   (* The legacy wrapper still raises for scripts on the old API. *)
   try
     ignore
       (Approximation.approximate_exn
-         ~config:{ Approximation.checkpoints = 0; min_prefix = 3 }
+         ~config:{ Approximation.default_config with Approximation.checkpoints = 0; min_prefix = 3 }
          ~xs:[| 1.0 |] ~ys:[| 1.0 |] ~target_max:4.0 ~require_nonnegative:false ());
     Alcotest.fail "bad config accepted by _exn"
   with Invalid_argument _ -> ()
@@ -471,39 +476,39 @@ let test_time_extrapolation_frequency () =
 
 let test_error_max_and_mean () =
   let e =
-    Error.evaluate ~predicted:[| 1.1; 2.0; 3.6 |] ~measured:[| 1.0; 2.0; 3.0 |]
+    Diag.Quality.evaluate ~predicted:[| 1.1; 2.0; 3.6 |] ~measured:[| 1.0; 2.0; 3.0 |]
       ~target_grid:[| 1.0; 2.0; 3.0 |] ()
   in
-  Alcotest.(check (float 1e-9)) "max" 0.2 e.Error.max_error;
-  Alcotest.(check (float 1e-9)) "mean" 0.1 e.Error.mean_error
+  Alcotest.(check (float 1e-9)) "max" 0.2 e.Diag.Quality.max_error;
+  Alcotest.(check (float 1e-9)) "mean" 0.1 e.Diag.Quality.mean_error
 
 let test_error_from_threads () =
   let e =
-    Error.evaluate ~predicted:[| 2.0; 2.0; 3.0 |] ~measured:[| 1.0; 2.0; 3.0 |]
+    Diag.Quality.evaluate ~predicted:[| 2.0; 2.0; 3.0 |] ~measured:[| 1.0; 2.0; 3.0 |]
       ~target_grid:[| 1.0; 2.0; 3.0 |] ~from_threads:2 ()
   in
-  Alcotest.(check (float 1e-9)) "single-core excluded" 0.0 e.Error.max_error
+  Alcotest.(check (float 1e-9)) "single-core excluded" 0.0 e.Diag.Quality.max_error
 
 let test_scaling_verdicts () =
   let grid = Array.init 10 (fun i -> float_of_int (i + 1)) in
   let scaling = Array.map (fun n -> 1.0 /. n) grid in
-  Alcotest.(check bool) "scales" true (Error.scaling_verdict ~times:scaling ~grid () = Error.Scales);
+  Alcotest.(check bool) "scales" true (Diag.Quality.scaling_verdict ~times:scaling ~grid () = Diag.Quality.Scales);
   let stops = Array.map (fun n -> if n <= 5.0 then 1.0 /. n else 0.2 +. (0.1 *. (n -. 5.0))) grid in
-  (match Error.scaling_verdict ~times:stops ~grid () with
-  | Error.Stops_at k -> Alcotest.(check int) "stops near 5" 5 k
-  | Error.Scales -> Alcotest.fail "missed the stop")
+  (match Diag.Quality.scaling_verdict ~times:stops ~grid () with
+  | Diag.Quality.Stops_at k -> Alcotest.(check int) "stops near 5" 5 k
+  | Diag.Quality.Scales -> Alcotest.fail "missed the stop")
 
 let test_verdict_agreement () =
-  Alcotest.(check bool) "both scale" true (Error.agreement ~predicted:Error.Scales ~measured:Error.Scales);
+  Alcotest.(check bool) "both scale" true (Diag.Quality.agreement ~predicted:Diag.Quality.Scales ~measured:Diag.Quality.Scales);
   Alcotest.(check bool) "close stops" true
-    (Error.agreement ~predicted:(Error.Stops_at 14) ~measured:(Error.Stops_at 19));
+    (Diag.Quality.agreement ~predicted:(Diag.Quality.Stops_at 14) ~measured:(Diag.Quality.Stops_at 19));
   Alcotest.(check bool) "far stops" false
-    (Error.agreement ~predicted:(Error.Stops_at 4) ~measured:(Error.Stops_at 40));
-  Alcotest.(check bool) "opposite" false (Error.agreement ~predicted:Error.Scales ~measured:(Error.Stops_at 8))
+    (Diag.Quality.agreement ~predicted:(Diag.Quality.Stops_at 4) ~measured:(Diag.Quality.Stops_at 40));
+  Alcotest.(check bool) "opposite" false (Diag.Quality.agreement ~predicted:Diag.Quality.Scales ~measured:(Diag.Quality.Stops_at 8))
 
 let test_error_rejects_bad_input () =
   (try
-     ignore (Error.evaluate ~predicted:[| 1.0 |] ~measured:[| 1.0; 2.0 |] ~target_grid:[| 1.0; 2.0 |] ());
+     ignore (Diag.Quality.evaluate ~predicted:[| 1.0 |] ~measured:[| 1.0; 2.0 |] ~target_grid:[| 1.0; 2.0 |] ());
      Alcotest.fail "length mismatch accepted"
    with Invalid_argument _ -> ())
 
@@ -557,8 +562,8 @@ let test_experiment_runs_end_to_end () =
       ~target_machine:Machines.opteron48
   in
   let o = ok_or_fail "experiment" (Experiment.run setup) in
-  Alcotest.(check bool) "verdicts agree for blackscholes" true o.Experiment.error.Error.verdict_agrees;
-  Alcotest.(check bool) "error under 30%" true (o.Experiment.error.Error.max_error < 0.30);
+  Alcotest.(check bool) "verdicts agree for blackscholes" true o.Experiment.error.Diag.Quality.verdict_agrees;
+  Alcotest.(check bool) "error under 30%" true (o.Experiment.error.Diag.Quality.max_error < 0.30);
   Alcotest.(check int) "truth sweeps full machine" 48 (Array.length o.Experiment.truth.Series.samples)
 
 let test_experiment_max_error_from () =

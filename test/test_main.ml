@@ -14,5 +14,6 @@ let () =
       ("obs", Test_obs.suite);
       ("par", Test_par.suite);
       ("repro", Test_repro.suite);
+      ("service", Test_service.suite);
       ("properties", Test_properties.suite);
     ]

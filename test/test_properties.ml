@@ -266,8 +266,8 @@ let prop_error_metric_zero_for_perfect_prediction =
     (fun ts ->
       let times = Array.of_list ts in
       let grid = Array.init 6 (fun i -> float_of_int (i + 1)) in
-      let e = Estima.Error.evaluate ~predicted:times ~measured:times ~target_grid:grid () in
-      e.Estima.Error.max_error = 0.0 && e.Estima.Error.verdict_agrees)
+      let e = Estima.Diag.Quality.evaluate ~predicted:times ~measured:times ~target_grid:grid () in
+      e.Estima.Diag.Quality.max_error = 0.0 && e.Estima.Diag.Quality.verdict_agrees)
 
 let suite =
   List.map to_alcotest

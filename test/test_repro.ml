@@ -13,7 +13,7 @@ let test_render_table () =
 let test_render_formats () =
   Alcotest.(check string) "pct" "12.3%" (Render.pct 0.123);
   Alcotest.(check string) "float3" "1.23" (Render.float3 1.234);
-  Alcotest.(check string) "verdict" "scales" (Render.verdict Estima.Error.Scales)
+  Alcotest.(check string) "verdict" "scales" (Render.verdict Estima.Diag.Quality.Scales)
 
 let test_render_series_guard () =
   Alcotest.check_raises "mismatch" (Invalid_argument "Render.series: column x length mismatch")
@@ -59,7 +59,7 @@ let test_fig5_walkthrough () =
     Alcotest.failf "spc: min@%d [1]=%.4g [12]=%.4g [24]=%.4g [48]=%.4g"
       (Estima_numerics.Stats.argmin spc) spc.(0) spc.(11) spc.(23) spc.(47);
   Alcotest.(check bool) "verdicts agree" true
-    r.Fig5_intruder_walkthrough.error.Estima.Error.verdict_agrees
+    r.Fig5_intruder_walkthrough.error.Estima.Diag.Quality.verdict_agrees
 
 let test_fig15_wider_window_helps () =
   let r = Fig15_limitations.compute () in

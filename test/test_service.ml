@@ -1,0 +1,522 @@
+(* Tests for the prediction service: the JSON codec, the metrics
+   instruments, the LRU cache, the server's shedding/caching/dispatch
+   logic driven in-process with an injected clock, and two end-to-end
+   exercises of the real binary — a 1000-request pipelined soak over
+   stdio and concurrent clients over a Unix domain socket — asserting
+   every served response byte-identical to `estima_cli predict --from`
+   on the same CSV. *)
+
+open Estima_machine
+open Estima_workloads
+open Estima_counters
+open Estima_service
+
+let opteron1s = Machines.restrict_sockets Machines.opteron48 ~sockets:1
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec at i = i + n <= m && (String.sub s i n = sub || at (i + 1)) in
+  n = 0 || at 0
+
+(* ------------------------------------------------------------------ *)
+(* Json                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_roundtrip () =
+  let cases =
+    [
+      ("null", Json.Null);
+      ("true", Json.Bool true);
+      ("42", Json.Int 42);
+      ("-7", Json.Int (-7));
+      ("\"a\\\"b\\\\c\\nd\"", Json.String "a\"b\\c\nd");
+      ("[1,[],{}]", Json.List [ Json.Int 1; Json.List []; Json.Obj [] ]);
+      ( "{\"id\":1,\"op\":\"predict\"}",
+        Json.Obj [ ("id", Json.Int 1); ("op", Json.String "predict") ] );
+    ]
+  in
+  List.iter
+    (fun (text, value) ->
+      (match Json.parse text with
+      | Ok parsed -> Alcotest.(check bool) ("parse " ^ text) true (parsed = value)
+      | Error e -> Alcotest.failf "parse %s: %s" text e);
+      Alcotest.(check string) ("print " ^ text) text (Json.to_string value))
+    cases;
+  (* Whitespace and \u escapes parse; printing is canonical. *)
+  (match Json.parse " { \"a\" : [ 1 , 2 ] } " with
+  | Ok v -> Alcotest.(check string) "canonical" "{\"a\":[1,2]}" (Json.to_string v)
+  | Error e -> Alcotest.fail e);
+  match Json.parse "{\"s\":\"\\u0041\"}" with
+  | Ok v -> Alcotest.(check (option string)) "\\u" (Some "A") Json.(member "s" v |> Option.get |> to_string_opt)
+  | Error e -> Alcotest.fail e
+
+let test_json_errors () =
+  List.iter
+    (fun text ->
+      match Json.parse text with
+      | Ok _ -> Alcotest.failf "accepted %S" text
+      | Error _ -> ())
+    [ ""; "{"; "[1,"; "\"unterminated"; "{\"a\" 1}"; "nul"; "1 2"; "{\"a\":1,}" ]
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_counters () =
+  let m = Estima_obs.Metrics.create () in
+  let c = Estima_obs.Metrics.counter m "requests" in
+  Estima_obs.Metrics.Counter.incr c;
+  Estima_obs.Metrics.Counter.incr ~by:4 c;
+  Estima_obs.Metrics.Counter.incr ~by:(-3) c;
+  (* ignored: monotonic *)
+  Alcotest.(check int) "value" 5 (Estima_obs.Metrics.Counter.value c);
+  Alcotest.(check bool) "same instrument" true (c == Estima_obs.Metrics.counter m "requests");
+  (match Estima_obs.Metrics.histogram m "requests" with
+  | _ -> Alcotest.fail "name reuse across kinds accepted"
+  | exception Invalid_argument _ -> ());
+  Alcotest.(check string) "render" "counter requests 5\n" (Estima_obs.Metrics.render m)
+
+let test_metrics_histogram_deterministic () =
+  (* Quantiles depend only on the multiset of samples, not their order. *)
+  let samples = List.init 1000 (fun i -> 1e-6 *. float_of_int (1 + ((i * 7919) mod 997))) in
+  let build order =
+    let m = Estima_obs.Metrics.create () in
+    let h = Estima_obs.Metrics.histogram m "lat" in
+    List.iter (Estima_obs.Metrics.Histogram.observe h) order;
+    Estima_obs.Metrics.render m
+  in
+  let sorted = List.sort compare samples in
+  Alcotest.(check string) "order-independent" (build samples) (build (List.rev sorted));
+  let m = Estima_obs.Metrics.create () in
+  let h = Estima_obs.Metrics.histogram m "lat" in
+  List.iter (Estima_obs.Metrics.Histogram.observe h) samples;
+  Alcotest.(check int) "count" 1000 (Estima_obs.Metrics.Histogram.count h);
+  let q50 = Estima_obs.Metrics.Histogram.quantile h 0.5 in
+  let q95 = Estima_obs.Metrics.Histogram.quantile h 0.95 in
+  let mn = Estima_obs.Metrics.Histogram.quantile h 0.0 in
+  let mx = Estima_obs.Metrics.Histogram.quantile h 1.0 in
+  Alcotest.(check bool) "min <= p50 <= p95 <= max" true (mn <= q50 && q50 <= q95 && q95 <= mx);
+  (* A log bucket is at most one factor of 10^(1/8) wide, so the p50
+     upper bound stays within ~33% of the true median. *)
+  let true_median = List.nth sorted 499 in
+  Alcotest.(check bool) "p50 near the true median" true
+    (q50 >= true_median && q50 <= true_median *. 1.34)
+
+(* ------------------------------------------------------------------ *)
+(* Fit_cache                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_lru () =
+  let c = Fit_cache.create ~capacity:2 in
+  Fit_cache.add c "a" 1;
+  Fit_cache.add c "b" 2;
+  Alcotest.(check (option int)) "a hit" (Some 1) (Fit_cache.find c "a");
+  (* "b" is now the LRU entry; adding "c" evicts it, not "a". *)
+  Fit_cache.add c "c" 3;
+  Alcotest.(check int) "bounded" 2 (Fit_cache.length c);
+  Alcotest.(check (option int)) "b evicted" None (Fit_cache.find c "b");
+  Alcotest.(check (option int)) "a kept" (Some 1) (Fit_cache.find c "a");
+  Alcotest.(check (option int)) "c kept" (Some 3) (Fit_cache.find c "c");
+  (* Replacing in place neither grows nor evicts. *)
+  Fit_cache.add c "a" 10;
+  Alcotest.(check int) "replace" 2 (Fit_cache.length c);
+  Alcotest.(check (option int)) "replaced" (Some 10) (Fit_cache.find c "a")
+
+(* ------------------------------------------------------------------ *)
+(* Server, driven in-process                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Reassemble the prediction text carried by a predict response; must be
+   byte-identical to the CLI output for the same CSV. *)
+let response_text response =
+  match Json.parse response with
+  | Error e -> Alcotest.failf "bad response %s: %s" response e
+  | Ok json ->
+      let str key = Option.get (Option.bind (Json.member key json) Json.to_string_opt) in
+      let rows =
+        match Json.member "rows" json with
+        | Some (Json.List rows) -> List.map (fun r -> Option.get (Json.to_string_opt r)) rows
+        | _ -> Alcotest.fail "no rows"
+      in
+      str "summary" ^ "\n\n" ^ str "header" ^ "\n" ^ String.concat "\n" rows ^ "\n\nprediction: "
+      ^ str "verdict" ^ "\n"
+
+let collect_csv ?(max = 12) name =
+  let entry = Option.get (Suite.find name) in
+  let series =
+    Collector.collect
+      ~options:{ Collector.default_options with Collector.seed = 42; repetitions = 3 }
+      ~machine:opteron1s ~spec:entry.Suite.spec
+      ~thread_counts:(Collector.default_thread_counts ~max)
+      ()
+  in
+  Csv_export.series_to_csv series
+
+let predict_line ?(id = 1) csv =
+  Json.to_string
+    (Json.Obj
+       [ ("id", Json.Int id); ("op", Json.String "predict"); ("csv", Json.String csv) ])
+
+let make_server ?clock ?(jobs = 1) ?(queue = 64) ?(cache = 16) ?timeout_ms () =
+  Server.create ?clock
+    {
+      (Server.default_config ~machine:opteron1s) with
+      Server.target = Some Machines.opteron48;
+      jobs;
+      queue_capacity = queue;
+      cache_capacity = cache;
+      default_timeout_ms = timeout_ms;
+    }
+
+let with_server ?clock ?jobs ?queue ?cache ?timeout_ms f =
+  let server = make_server ?clock ?jobs ?queue ?cache ?timeout_ms () in
+  Fun.protect ~finally:(fun () -> Server.shutdown server) (fun () -> f server)
+
+let error_cause response =
+  match Json.parse response with
+  | Error e -> Alcotest.failf "unparseable response %s: %s" response e
+  | Ok json -> (
+      match Json.member "error" json with
+      | None -> None
+      | Some err ->
+          Some
+            ( Option.get (Option.bind (Json.member "cause" err) Json.to_string_opt),
+              Option.get (Option.bind (Json.member "exit_code" err) Json.to_int_opt) ))
+
+let counter_value server name =
+  Estima_obs.Metrics.Counter.value (Estima_obs.Metrics.counter (Server.metrics server) name)
+
+let test_server_parse_error () =
+  with_server (fun server ->
+      let responses, verdict = Server.handle_batch server [ "not json"; "{\"op\":\"sing\"}" ] in
+      Alcotest.(check bool) "continue" true (verdict = `Continue);
+      List.iter
+        (fun r ->
+          match error_cause r with
+          | Some ("parse-error", 2) -> ()
+          | other ->
+              Alcotest.failf "expected parse-error/2, got %s"
+                (match other with Some (c, n) -> Printf.sprintf "%s/%d" c n | None -> "ok"))
+        responses)
+
+let test_server_cache_and_identity () =
+  let csv = collect_csv "kmeans" in
+  with_server (fun server ->
+      let first, _ = Server.handle_batch server [ predict_line csv ] in
+      let again, _ = Server.handle_batch server [ predict_line csv ] in
+      Alcotest.(check int) "one miss" 1 (counter_value server "estima_cache_misses_total");
+      Alcotest.(check int) "one hit" 1 (counter_value server "estima_cache_hits_total");
+      Alcotest.(check string) "hit byte-identical to miss" (List.hd first) (List.hd again);
+      (* A duplicate payload within one batch coalesces onto the single
+         in-flight computation: one miss, one hit, identical responses. *)
+      let csv2 = collect_csv ~max:11 "kmeans" in
+      let pair, _ = Server.handle_batch server [ predict_line ~id:7 csv2; predict_line ~id:8 csv2 ] in
+      Alcotest.(check int) "coalesced duplicate is a hit" 2
+        (counter_value server "estima_cache_hits_total");
+      Alcotest.(check int) "one miss for the new payload" 2
+        (counter_value server "estima_cache_misses_total");
+      match pair with
+      | [ a; b ] ->
+          Alcotest.(check string) "identical text within batch" (response_text a) (response_text b)
+      | _ -> Alcotest.fail "expected two responses")
+
+let test_server_jobs_byte_identical () =
+  let payloads =
+    List.mapi (fun i name -> predict_line ~id:i (collect_csv name)) [ "kmeans"; "genome"; "ssca2"; "vacation-low" ]
+  in
+  let run jobs = with_server ~jobs (fun server -> fst (Server.handle_batch server payloads)) in
+  Alcotest.(check (list string)) "jobs=1 vs jobs=4" (run 1) (run 4)
+
+let test_server_queue_full () =
+  (* Four distinct payloads (duplicates would coalesce instead of
+     queueing) against a queue of two. *)
+  let csvs = List.map (fun max -> collect_csv ~max "kmeans") [ 9; 10; 11; 12 ] in
+  with_server ~queue:2 (fun server ->
+      let lines = List.mapi (fun i csv -> predict_line ~id:i csv) csvs in
+      let responses, _ = Server.handle_batch server lines in
+      let shed =
+        List.filter_map (fun r -> error_cause r) responses
+        |> List.filter (fun (c, _) -> c = "overloaded")
+      in
+      Alcotest.(check int) "two shed" 2 (List.length shed);
+      List.iter (fun (_, code) -> Alcotest.(check int) "exit code 4" 4 code) shed;
+      Alcotest.(check int) "counter" 2 (counter_value server "estima_shed_overload_total");
+      (* The admitted two still answered. *)
+      let ok = List.filter (fun r -> error_cause r = None) responses in
+      Alcotest.(check int) "two served" 2 (List.length ok))
+
+let test_server_deadline () =
+  (* A clock that advances 10 ms per reading: by the time the dispatcher
+     re-reads it for the deadline check, any timeout below 10 ms has
+     already passed.  timeout_ms = 0 makes the shed deterministic. *)
+  let now = ref 0.0 in
+  let clock () =
+    let t = !now in
+    now := t +. 0.010;
+    t
+  in
+  let csv = collect_csv "kmeans" in
+  with_server ~clock ~timeout_ms:0 (fun server ->
+      let responses, _ = Server.handle_batch server [ predict_line csv ] in
+      (match error_cause (List.hd responses) with
+      | Some ("deadline-exceeded", 4) -> ()
+      | other ->
+          Alcotest.failf "expected deadline-exceeded/4, got %s"
+            (match other with Some (c, n) -> Printf.sprintf "%s/%d" c n | None -> "ok"));
+      Alcotest.(check int) "counter" 1 (counter_value server "estima_shed_deadline_total"));
+  (* A per-request timeout_ms overrides the server default: with a
+     generous request deadline the same server setup answers. *)
+  let request =
+    Json.to_string
+      (Json.Obj
+         [
+           ("id", Json.Int 1);
+           ("op", Json.String "predict");
+           ("csv", Json.String csv);
+           ("timeout_ms", Json.Int 60_000);
+         ])
+  in
+  with_server ~clock ~timeout_ms:0 (fun server ->
+      let responses, _ = Server.handle_batch server [ request ] in
+      Alcotest.(check bool) "request override answers" true (error_cause (List.hd responses) = None))
+
+let test_server_shutdown_and_metrics () =
+  with_server (fun server ->
+      let responses, verdict =
+        Server.handle_batch server [ "{\"id\":9,\"op\":\"metrics\"}"; "{\"id\":10,\"op\":\"shutdown\"}" ]
+      in
+      Alcotest.(check bool) "shutdown signalled" true (verdict = `Shutdown);
+      (match Json.parse (List.hd responses) with
+      | Ok json ->
+          let dump = Option.get (Option.bind (Json.member "metrics" json) Json.to_string_opt) in
+          Alcotest.(check bool) "dump has requests counter" true
+            (contains ~sub:"counter estima_requests_total" dump)
+      | Error e -> Alcotest.fail e);
+      match Json.parse (List.nth responses 1) with
+      | Ok json -> Alcotest.(check (option bool)) "bye" (Some true) Json.(member "bye" json |> Option.map (function Bool b -> b | _ -> false))
+      | Error e -> Alcotest.fail e)
+
+(* ------------------------------------------------------------------ *)
+(* End to end: the real binary over pipes and a socket                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Resolve the sibling binaries relative to the test executable so the
+   suite works under both `dune runtest` (cwd = _build/default/test) and
+   `dune exec` (cwd = workspace root). *)
+let bin_exe name = Filename.concat (Filename.dirname Sys.executable_name) ("../bin/" ^ name)
+
+let serve_exe = bin_exe "estima_serve.exe"
+
+let cli_exe = bin_exe "estima_cli.exe"
+
+let write_temp_csv name csv =
+  let path = Filename.temp_file ("estima_" ^ name ^ "_") ".csv" in
+  let oc = open_out path in
+  output_string oc csv;
+  close_out oc;
+  path
+
+(* What `estima_cli predict --from path` prints (same machine defaults as
+   the served setup). *)
+let cli_predict path =
+  let ic = Unix.open_process_in (Filename.quote_command cli_exe [ "predict"; "--from"; path ]) in
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  (match Unix.close_process_in ic with
+  | Unix.WEXITED 0 -> ()
+  | _ -> Alcotest.failf "estima_cli predict --from %s failed" path);
+  Buffer.contents buf
+
+
+let spawn_serve args =
+  let stdin_r, stdin_w = Unix.pipe ~cloexec:false () in
+  let stdout_r, stdout_w = Unix.pipe ~cloexec:false () in
+  let pid =
+    Unix.create_process serve_exe
+      (Array.of_list (serve_exe :: args))
+      stdin_r stdout_w Unix.stderr
+  in
+  Unix.close stdin_r;
+  Unix.close stdout_w;
+  (pid, Unix.out_channel_of_descr stdin_w, Unix.in_channel_of_descr stdout_r)
+
+let test_soak_1000_requests () =
+  let names = [ "kmeans"; "genome"; "ssca2"; "vacation-low"; "intruder"; "yada"; "labyrinth"; "kmeans-high" ] in
+  let names = List.filter (fun n -> Suite.find n <> None) names in
+  Alcotest.(check bool) "several distinct payloads" true (List.length names >= 4);
+  let payloads =
+    List.map
+      (fun name ->
+        let csv = collect_csv name in
+        let path = write_temp_csv name csv in
+        (* The served spec name must match what the CLI derives from the
+           file's basename for the summary line to be byte-identical. *)
+        let spec = Filename.remove_extension (Filename.basename path) in
+        let line id =
+          Json.to_string
+            (Json.Obj
+               [
+                 ("id", Json.Int id);
+                 ("op", Json.String "predict");
+                 ("csv", Json.String csv);
+                 ("spec", Json.String spec);
+               ])
+        in
+        (path, line))
+      names
+  in
+  let expected = List.map (fun (path, _) -> cli_predict path) payloads in
+  let pid, to_server, from_server = spawn_serve [ "--jobs"; "4"; "--cache"; "32" ] in
+  let n_requests = 1000 in
+  (* Small pipelining window: requests carry whole CSVs and responses
+     whole prediction tables, so 10 in flight keeps both directions of
+     the pipe comfortably under the 64K buffer — no deadlock.  The
+     cache counters do not care how requests clump into batches (the
+     server coalesces duplicates within a batch). *)
+  let chunk = 10 in
+  let payload_count = List.length payloads in
+  let served = ref 0 in
+  for round = 0 to (n_requests / chunk) - 1 do
+    for i = 0 to chunk - 1 do
+      let id = (round * chunk) + i in
+      let _, line = List.nth payloads (id mod payload_count) in
+      output_string to_server (line id);
+      output_char to_server '\n'
+    done;
+    flush to_server;
+    for i = 0 to chunk - 1 do
+      let id = (round * chunk) + i in
+      let response = input_line from_server in
+      let want = List.nth expected (id mod payload_count) in
+      if response_text response <> want then
+        Alcotest.failf "request %d: served text differs from the CLI" id;
+      incr served
+    done
+  done;
+  Alcotest.(check int) "all answered" n_requests !served;
+  (* Metrics: the cache must have absorbed almost everything, and the
+     latency histogram must report quantiles. *)
+  output_string to_server "{\"id\":-1,\"op\":\"metrics\"}\n{\"id\":-2,\"op\":\"shutdown\"}\n";
+  flush to_server;
+  let metrics_response = input_line from_server in
+  let dump =
+    match Json.parse metrics_response with
+    | Ok json -> Option.get (Option.bind (Json.member "metrics" json) Json.to_string_opt)
+    | Error e -> Alcotest.fail e
+  in
+  let find_counter name =
+    dump |> String.split_on_char '\n'
+    |> List.find_map (fun line ->
+           match String.split_on_char ' ' line with
+           | [ "counter"; n; v ] when n = name -> int_of_string_opt v
+           | _ -> None)
+  in
+  let hits = Option.value ~default:0 (find_counter "estima_cache_hits_total") in
+  let misses = Option.value ~default:0 (find_counter "estima_cache_misses_total") in
+  Alcotest.(check bool) "nonzero cache-hit rate" true (hits > 0);
+  Alcotest.(check int) "hits + misses = requests" n_requests (hits + misses);
+  Alcotest.(check int) "misses = distinct payloads" payload_count misses;
+  let latency_line =
+    dump |> String.split_on_char '\n'
+    |> List.find_opt (fun l -> contains ~sub:"histogram estima_latency_seconds" l)
+  in
+  (match latency_line with
+  | Some line ->
+      Alcotest.(check bool) "p50 reported" true (contains ~sub:"p50=" line);
+      Alcotest.(check bool) "p95 reported" true (contains ~sub:"p95=" line);
+      Printf.printf "soak latency: %s\n%!" line
+  | None -> Alcotest.fail "no latency histogram in the metrics dump");
+  ignore (input_line from_server);
+  close_out to_server;
+  close_in from_server;
+  (match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _ -> Alcotest.fail "estima_serve did not exit cleanly");
+  List.iter (fun (path, _) -> Sys.remove path) payloads
+
+let test_socket_concurrent_clients () =
+  let csv = collect_csv "kmeans" in
+  let path = write_temp_csv "sock" csv in
+  let spec = Filename.remove_extension (Filename.basename path) in
+  let expected = cli_predict path in
+  let socket_path = Filename.temp_file "estima_serve_" ".sock" in
+  Sys.remove socket_path;
+  let pid =
+    Unix.create_process serve_exe
+      [| serve_exe; "--jobs"; "4"; "--socket"; socket_path |]
+      Unix.stdin Unix.stdout Unix.stderr
+  in
+  (* Wait for the listener. *)
+  let rec await tries =
+    if Sys.file_exists socket_path then ()
+    else if tries = 0 then Alcotest.fail "socket never appeared"
+    else begin
+      Unix.sleepf 0.05;
+      await (tries - 1)
+    end
+  in
+  await 100;
+  let line id =
+    Json.to_string
+      (Json.Obj
+         [
+           ("id", Json.Int id);
+           ("op", Json.String "predict");
+           ("csv", Json.String csv);
+           ("spec", Json.String spec);
+         ])
+  in
+  let client k =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX socket_path);
+    let oc = Unix.out_channel_of_descr fd and ic = Unix.in_channel_of_descr fd in
+    let texts =
+      List.init 25 (fun i ->
+          output_string oc (line ((k * 100) + i));
+          output_char oc '\n';
+          flush oc;
+          response_text (input_line ic))
+    in
+    Unix.close fd;
+    texts
+  in
+  let domains = List.init 4 (fun k -> Domain.spawn (fun () -> client k)) in
+  let all = List.concat_map Domain.join domains in
+  Alcotest.(check int) "100 responses" 100 (List.length all);
+  List.iter
+    (fun text ->
+      if text <> expected then Alcotest.fail "socket response differs from the CLI")
+    all;
+  (* One more client shuts the server down. *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket_path);
+  let oc = Unix.out_channel_of_descr fd and ic = Unix.in_channel_of_descr fd in
+  output_string oc "{\"id\":0,\"op\":\"shutdown\"}\n";
+  flush oc;
+  ignore (input_line ic);
+  Unix.close fd;
+  (match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _ -> Alcotest.fail "estima_serve did not exit cleanly");
+  Sys.remove path
+
+let suite =
+  [
+    ("json round-trip", `Quick, test_json_roundtrip);
+    ("json rejects malformed input", `Quick, test_json_errors);
+    ("metrics counters", `Quick, test_metrics_counters);
+    ("metrics histogram is order-independent", `Quick, test_metrics_histogram_deterministic);
+    ("fit cache is LRU", `Quick, test_cache_lru);
+    ("server rejects unparseable requests", `Quick, test_server_parse_error);
+    ("server cache hit/miss counters and identity", `Quick, test_server_cache_and_identity);
+    ("server responses byte-identical across jobs", `Quick, test_server_jobs_byte_identical);
+    ("server sheds on a full queue", `Quick, test_server_queue_full);
+    ("server sheds on a blown deadline", `Quick, test_server_deadline);
+    ("server metrics and shutdown", `Quick, test_server_shutdown_and_metrics);
+    ("soak: 1000 pipelined requests over stdio", `Slow, test_soak_1000_requests);
+    ("soak: concurrent clients over a socket", `Slow, test_socket_concurrent_clients);
+  ]
