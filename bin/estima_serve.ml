@@ -81,7 +81,63 @@ let socket_arg =
         ~doc:
           "Listen on a Unix domain socket at $(docv) (serving concurrent connections)            instead of stdin/stdout.")
 
-let serve machine sockets target jobs queue cache timeout_ms socket_path =
+let max_buffer_arg =
+  Arg.(
+    value
+    & opt int Wire.default_max_buffer_bytes
+    & info [ "max-buffer" ] ~docv:"BYTES"
+        ~doc:
+          "Per-connection input buffer cap: a peer that streams $(docv) bytes without a            newline is shed with a typed `frame-too-large` error and its buffered bytes are            dropped (the stream resynchronises at the next newline) instead of growing the            buffer without bound.")
+
+let max_conns_arg =
+  Arg.(
+    value
+    & opt int Wire.default_max_connections
+    & info [ "max-conns" ] ~docv:"N"
+        ~doc:
+          "Socket listener connection cap: a client connecting past $(docv) concurrent            connections is answered with one typed `overloaded` error line and closed.")
+
+(* --inject-fault is the fault-injection harness's handle on the real
+   binary: it arms Server.inject_fault before serving.  Testing only. *)
+let fault_conv =
+  let parse s =
+    let fail () =
+      Error
+        (`Msg
+           (Printf.sprintf
+              "bad fault %S (expected SPEC:raise[:MSG], SPEC:delay:SECONDS or SPEC:garbage)" s))
+    in
+    match String.split_on_char ':' s with
+    | [ spec; "raise" ] -> Ok (spec, Server.Fault_raise "injected fault")
+    | [ spec; "raise"; msg ] -> Ok (spec, Server.Fault_raise msg)
+    | [ spec; "delay"; seconds ] -> (
+        match float_of_string_opt seconds with
+        | Some f when f >= 0.0 -> Ok (spec, Server.Fault_delay f)
+        | _ -> fail ())
+    | [ spec; "garbage" ] -> Ok (spec, Server.Fault_garbage)
+    | _ -> fail ()
+  in
+  let print ppf (spec, _) = Format.fprintf ppf "%s:<fault>" spec in
+  Arg.conv (parse, print)
+
+let inject_fault_arg =
+  Arg.(
+    value
+    & opt_all fault_conv []
+    & info [ "inject-fault" ] ~docv:"SPEC:FAULT"
+        ~doc:
+          "TESTING ONLY.  Make the predict pipeline misbehave for series named SPEC:            $(docv) is SPEC:raise[:MSG] (raise instead of answering — served as a typed            `internal` error, exit code 5), SPEC:delay:SECONDS (stall before answering) or            SPEC:garbage (serve garbage bytes, bypassing the cache).  Repeatable.")
+
+let serve machine sockets target jobs queue cache timeout_ms socket_path max_buffer max_conns
+    faults =
+  if max_buffer < 1 then begin
+    prerr_endline (Printf.sprintf "estima_serve: --max-buffer %d: must be >= 1" max_buffer);
+    exit 1
+  end;
+  if max_conns < 1 then begin
+    prerr_endline (Printf.sprintf "estima_serve: --max-conns %d: must be >= 1" max_conns);
+    exit 1
+  end;
   let machine =
     match sockets with None -> machine | Some sockets -> Machines.restrict_sockets machine ~sockets
   in
@@ -102,12 +158,15 @@ let serve machine sockets target jobs queue cache timeout_ms socket_path =
       prerr_endline ("estima_serve: " ^ msg);
       exit 1
   | server ->
+      List.iter (fun (spec, fault) -> Server.inject_fault server ~spec fault) faults;
       Fun.protect
         ~finally:(fun () -> Server.shutdown server)
         (fun () ->
           match socket_path with
-          | None -> Wire.serve_stdio server
-          | Some path -> Wire.serve_socket server ~path)
+          | None -> Wire.serve_stdio ~max_buffer_bytes:max_buffer server
+          | Some path ->
+              Wire.serve_socket ~max_buffer_bytes:max_buffer ~max_connections:max_conns server
+                ~path)
 
 let cmd =
   let doc = "serve scalability predictions over newline-delimited JSON" in
@@ -125,6 +184,6 @@ let cmd =
     (Cmd.info "estima_serve" ~version:"1.0.0" ~doc ~man)
     Term.(
       const serve $ machine_arg $ sockets_arg $ target_arg $ jobs_arg $ queue_arg $ cache_arg
-      $ timeout_arg $ socket_arg)
+      $ timeout_arg $ socket_arg $ max_buffer_arg $ max_conns_arg $ inject_fault_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -19,6 +19,8 @@ type cause =
   | No_realistic_fit of { window : int }
   | Overloaded of { pending : int; capacity : int }
   | Deadline_exceeded of { waited_ms : int; timeout_ms : int }
+  | Frame_too_large of { buffered : int; limit : int }
+  | Internal_error of { exn : string; backtrace : string }
 
 let cause_label = function
   | Parse_error _ -> "parse-error"
@@ -31,6 +33,8 @@ let cause_label = function
   | No_realistic_fit _ -> "no-realistic-fit"
   | Overloaded _ -> "overloaded"
   | Deadline_exceeded _ -> "deadline-exceeded"
+  | Frame_too_large _ -> "frame-too-large"
+  | Internal_error _ -> "internal"
 
 let cause_message = function
   | Parse_error { file; line; msg } ->
@@ -59,6 +63,13 @@ let cause_message = function
   | Deadline_exceeded { waited_ms; timeout_ms } ->
       Printf.sprintf "request shed: waited %d ms in the queue, past its %d ms deadline" waited_ms
         timeout_ms
+  | Frame_too_large { buffered; limit } ->
+      Printf.sprintf
+        "frame shed: %d bytes buffered without a newline, past the %d byte frame limit" buffered
+        limit
+  | Internal_error { exn; backtrace } ->
+      if backtrace = "" then Printf.sprintf "internal error: %s" exn
+      else Printf.sprintf "internal error: %s | %s" exn backtrace
 
 type t = { stage : stage; subject : string; cause : cause }
 
@@ -84,12 +95,33 @@ let exit_code t =
   match t.cause with
   | No_realistic_fit _ -> 3
   | Overloaded _ | Deadline_exceeded _ -> 4
+  | Internal_error _ -> 5
   | _ -> 2
 
 let raise_exn t = (* exn-shim *)
   match t.cause with
-  | No_realistic_fit _ | Overloaded _ | Deadline_exceeded _ -> failwith (render t) (* exn-shim *)
+  | No_realistic_fit _ | Overloaded _ | Deadline_exceeded _ | Internal_error _ ->
+      failwith (render t) (* exn-shim *)
   | _ -> invalid_arg (render t) (* exn-shim *)
+
+(* A diagnostic must stay a one-line wire payload of sane size, so the
+   captured backtrace is flattened and clipped; [Printexc] output is
+   newline-separated frames, most recent first, and the first few frames
+   are the ones that identify the crash site. *)
+let backtrace_budget = 600
+
+let of_exn ?(stage = Serve) ~subject exn raw_backtrace =
+  let flatten s =
+    String.concat " <- "
+      (String.split_on_char '\n' (String.trim s) |> List.map String.trim
+      |> List.filter (fun l -> l <> ""))
+  in
+  let backtrace = flatten (Printexc.raw_backtrace_to_string raw_backtrace) in
+  let backtrace =
+    if String.length backtrace <= backtrace_budget then backtrace
+    else String.sub backtrace 0 backtrace_budget ^ "..."
+  in
+  make ~stage ~subject (Internal_error { exn = Printexc.to_string exn; backtrace })
 
 (* Prediction-quality metrics, folded in from the pre-Diag lib/core/error.ml
    (the module was called [Error] when pipeline failures were still

@@ -59,6 +59,17 @@ type cause =
           queue: it had already waited [waited_ms] ms against a budget of
           [timeout_ms] ms when a worker picked it up, so running the
           pipeline could only produce an answer nobody is waiting for. *)
+  | Frame_too_large of { buffered : int; limit : int }
+      (** A transport accumulated [buffered] bytes without seeing a
+          newline, past its per-connection frame limit of [limit] bytes.
+          The buffered bytes were dropped (the stream resynchronises at
+          the next newline) instead of growing without bound. *)
+  | Internal_error of { exn : string; backtrace : string }
+      (** The pipeline raised instead of returning: a bug, surfaced to
+          the one request that triggered it.  [exn] is the printed
+          exception and [backtrace] a flattened, truncated backtrace —
+          enough to file a report, small enough for a one-line wire
+          payload.  The serving process itself survives. *)
 
 val cause_label : cause -> string
 (** Stable machine-readable label, e.g. ["parse-error"],
@@ -84,13 +95,22 @@ val exit_code : t -> int
 (** CLI exit code: 3 for {!No_realistic_fit} (the input was well-formed
     but ESTIMA cannot extrapolate it), 4 for the transient service
     conditions ({!Overloaded}, {!Deadline_exceeded} — retrying may
-    succeed), 2 for every bad-input cause. *)
+    succeed), 5 for {!Internal_error} (a bug in the pipeline, not in the
+    request), 2 for every bad-input cause. *)
 
 val raise_exn : t -> 'a
 (** The legacy exception for this diagnostic: [Failure] for
-    {!No_realistic_fit} (what the pipeline used to [failwith]) and for
-    the transient service conditions, [Invalid_argument] otherwise — all
-    carrying {!render}.  Used by the [_exn] compatibility wrappers. *)
+    {!No_realistic_fit} (what the pipeline used to [failwith]), for the
+    transient service conditions and for {!Internal_error},
+    [Invalid_argument] otherwise — all carrying {!render}.  Used by the
+    [_exn] compatibility wrappers. *)
+
+val of_exn :
+  ?stage:stage -> subject:string -> exn -> Printexc.raw_backtrace -> t
+(** Wrap an escaped exception as an {!Internal_error} diagnostic (stage
+    defaults to [Serve]).  The backtrace is flattened to one line
+    (frames joined by [" <- "]) and truncated to a few hundred bytes so
+    the rendering stays a single sane wire line. *)
 
 (** Prediction-quality metrics (the paper's Table 4 criteria): maximum
     relative error of predicted against measured execution times, and the

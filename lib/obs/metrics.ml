@@ -55,30 +55,51 @@ module Histogram = struct
           if v > t.max then t.max <- v)
     end
 
-  let count t = Mutex.protect t.mutex (fun () -> t.count)
+  (* All reads go through a snapshot taken under one lock: count, sum,
+     min/max and the bucket counts are captured atomically, so anything
+     derived from one snapshot — in particular a rendered line combining
+     count, sum and several quantiles — is consistent even while other
+     threads keep observing. *)
+  type snapshot = {
+    count : int;
+    sum : float;
+    min : float;
+    max : float;
+    buckets : (int * int) list;  (** (bucket, count), sorted by bucket. *)
+  }
 
-  let sum t = Mutex.protect t.mutex (fun () -> t.sum)
+  let snapshot t =
+    Mutex.protect t.mutex (fun () ->
+        {
+          count = t.count;
+          sum = t.sum;
+          min = t.min;
+          max = t.max;
+          buckets = List.sort compare (Hashtbl.fold (fun b n acc -> (b, n) :: acc) t.counts []);
+        })
 
-  let quantile t q =
+  let snapshot_quantile s q =
     if not (Float.is_finite q && q >= 0.0 && q <= 1.0) then
       invalid_arg (Printf.sprintf "Metrics.Histogram.quantile: q = %g not in [0, 1]" q);
-    Mutex.protect t.mutex (fun () ->
-        if t.count = 0 then Float.nan
-        else if q = 0.0 then t.min
-        else if q = 1.0 then t.max
-        else begin
-          let rank = int_of_float (Float.ceil (q *. float_of_int t.count)) in
-          let sorted =
-            List.sort compare (Hashtbl.fold (fun b n acc -> (b, n) :: acc) t.counts [])
-          in
-          let rec walk seen = function
-            | [] -> t.max
-            | (b, n) :: rest ->
-                let seen = seen + n in
-                if seen >= rank then Float.min (bucket_upper b) t.max else walk seen rest
-          in
-          walk 0 sorted
-        end)
+    if s.count = 0 then Float.nan
+    else if q = 0.0 then s.min
+    else if q = 1.0 then s.max
+    else begin
+      let rank = int_of_float (Float.ceil (q *. float_of_int s.count)) in
+      let rec walk seen = function
+        | [] -> s.max
+        | (b, n) :: rest ->
+            let seen = seen + n in
+            if seen >= rank then Float.min (bucket_upper b) s.max else walk seen rest
+      in
+      walk 0 s.buckets
+    end
+
+  let count t = (snapshot t).count
+
+  let sum t = (snapshot t).sum
+
+  let quantile t q = snapshot_quantile (snapshot t) q
 end
 
 type instrument = Counter of Counter.t | Histogram of Histogram.t
@@ -129,12 +150,16 @@ let render t =
     match instrument with
     | Counter c -> Printf.sprintf "counter %s %d" name (Counter.value c)
     | Histogram h ->
-        if Histogram.count h = 0 then Printf.sprintf "histogram %s count=0" name
+        (* One snapshot per histogram: count, sum and every quantile on
+           the line describe the same multiset of samples even when
+           observers are running concurrently — no torn lines. *)
+        let s = Histogram.snapshot h in
+        if s.Histogram.count = 0 then Printf.sprintf "histogram %s count=0" name
         else
+          let q p = Histogram.snapshot_quantile s p in
           Printf.sprintf "histogram %s count=%d sum=%.6g min=%.6g max=%.6g p50=%.6g p90=%.6g p95=%.6g p99=%.6g"
-            name (Histogram.count h) (Histogram.sum h) (Histogram.quantile h 0.0)
-            (Histogram.quantile h 1.0) (Histogram.quantile h 0.5) (Histogram.quantile h 0.9)
-            (Histogram.quantile h 0.95) (Histogram.quantile h 0.99)
+            name s.Histogram.count s.Histogram.sum (q 0.0) (q 1.0) (q 0.5) (q 0.9) (q 0.95)
+            (q 0.99)
   in
   let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) entries in
   String.concat "\n" (List.map line sorted) ^ if sorted = [] then "" else "\n"

@@ -46,6 +46,25 @@ module Histogram : sig
       that [q = 0] returns the exact minimum and [q = 1] the exact
       maximum.  [nan] while the histogram is empty.
       Raises [Invalid_argument] outside [0, 1]. *)
+
+  (** A consistent point-in-time capture of the histogram state, taken
+      under a single lock acquisition.  Derive anything that combines
+      count, sum and quantiles — a rendered metrics line, an assertion in
+      a concurrent test — from {e one} snapshot, so a concurrent
+      {!observe} between reads cannot tear it. *)
+  type snapshot = {
+    count : int;
+    sum : float;
+    min : float;  (** [infinity] while empty. *)
+    max : float;  (** [neg_infinity] while empty. *)
+    buckets : (int * int) list;  (** (bucket index, count), sorted. *)
+  }
+
+  val snapshot : t -> snapshot
+
+  val snapshot_quantile : snapshot -> float -> float
+  (** {!quantile} computed from a snapshot; [quantile h q] is
+      [snapshot_quantile (snapshot h) q]. *)
 end
 
 type t

@@ -36,7 +36,23 @@ val run :
   t -> 'a array -> f:('a -> 'b) -> ('b, exn * Printexc.raw_backtrace) result array
 (** Like {!map} but never raises on task failure: each slot carries its
     task's outcome.  This is the primitive {!Fanout} builds on so that
-    trace tapes of tasks preceding a failure can still be replayed. *)
+    trace tapes of tasks preceding a failure can still be replayed.
+
+    The outcome contract, which fault-isolated callers (the prediction
+    service's per-request crash containment) rely on:
+
+    - [result.(i)] corresponds to [xs.(i)] in submission order, whatever
+      order tasks completed in;
+    - [Error (exn, bt)] carries the exception {e and the backtrace
+      captured at the raise site inside the task} ([Printexc.get_raw_backtrace]
+      in the runner, before any further allocation on that domain), so
+      the caller can report where the task died, not where the pool
+      noticed;
+    - one task failing affects {e only its own slot}: every other task
+      still runs to completion and reports its own outcome;
+    - the pool itself is unharmed by task failures — no worker domain
+      exits, and the next {!run}/{!map} on the same pool behaves
+      identically to one on a fresh pool. *)
 
 val in_task : unit -> bool
 (** [true] while the current domain is executing a pool task (covers both

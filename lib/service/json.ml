@@ -68,12 +68,21 @@ let parse_string_body cur =
             | 't' -> Buffer.add_char buf '\t'
             | 'u' ->
                 if cur.pos + 4 > String.length cur.input then fail cur "truncated \\u escape";
-                let hex = String.sub cur.input cur.pos 4 in
-                let code =
-                  match int_of_string_opt ("0x" ^ hex) with
-                  | Some code -> code
-                  | None -> fail cur "bad \\u escape"
+                (* Exactly four hex digits: [int_of_string_opt "0x…"]
+                   alone would also accept OCaml-isms such as the
+                   underscore in "\u1_23". *)
+                let digit c =
+                  match c with
+                  | '0' .. '9' -> Char.code c - Char.code '0'
+                  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+                  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+                  | _ -> fail cur "bad \\u escape"
                 in
+                let code = ref 0 in
+                for i = 0 to 3 do
+                  code := (!code * 16) + digit cur.input.[cur.pos + i]
+                done;
+                let code = !code in
                 cur.pos <- cur.pos + 4;
                 (* UTF-8 encode the BMP code point; surrogate pairs are
                    passed through as two 3-byte sequences, which round-trips
@@ -111,6 +120,17 @@ let parse_number cur =
     ()
   done;
   let text = String.sub cur.input start (cur.pos - start) in
+  (* JSON allows a sign only as a leading '-' or right after the
+     exponent marker; [int_of_string_opt]/[float_of_string_opt] are
+     laxer (a leading '+' parses), so check before handing over. *)
+  let sign_ok i c =
+    (c <> '+' && c <> '-')
+    || (i = 0 && c = '-')
+    || (i > 0 && (text.[i - 1] = 'e' || text.[i - 1] = 'E'))
+  in
+  let signs_ok = ref true in
+  String.iteri (fun i c -> if not (sign_ok i c) then signs_ok := false) text;
+  if not !signs_ok then fail { cur with pos = start } (Printf.sprintf "bad number %S" text);
   match int_of_string_opt text with
   | Some n -> Int n
   | None -> (

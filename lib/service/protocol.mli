@@ -29,7 +29,16 @@
 
     {v
 {"id":1,"ok":false,"error":{"stage":"serve","subject":"request","cause":"overloaded","message":"...","exit_code":4}}
-    v} *)
+    v}
+
+    Error causes a client can see, beyond the pipeline's own bad-input
+    vocabulary: ["overloaded"] and ["deadline-exceeded"] (exit code 4,
+    transient — retry later), ["frame-too-large"] (exit code 2, the
+    transport shed an unterminated over-limit frame; its [id] is [null]
+    because the line was never parsed), and ["internal"] (exit code 5, a
+    pipeline bug — the message carries the exception and a truncated
+    backtrace, the serving process survives and every other request in
+    the batch is answered normally). *)
 
 type request =
   | Predict of {

@@ -30,12 +30,15 @@ let default_config ~machine =
    byte-identity guarantee needs no argument about re-rendering. *)
 type rendered = { summary : string; rows : string list; verdict : string }
 
+type fault = Fault_raise of string | Fault_delay of float | Fault_garbage
+
 type t = {
   config : config;
   clock : unit -> float;
   pool : Estima_par.Pool.t;
   cache : rendered Fit_cache.t;
   registry : Metrics.t;
+  faults : (string, fault) Hashtbl.t;
   mutable alive : bool;
 }
 
@@ -56,8 +59,13 @@ let create ?(clock = Unix.gettimeofday) config =
     pool = Estima_par.Pool.create ~jobs:config.jobs;
     cache = Fit_cache.create ~capacity:config.cache_capacity;
     registry = Metrics.create ();
+    faults = Hashtbl.create 4;
     alive = true;
   }
+
+let inject_fault t ~spec fault = Hashtbl.replace t.faults spec fault
+
+let clear_faults t = Hashtbl.reset t.faults
 
 let metrics t = t.registry
 
@@ -95,6 +103,11 @@ let cache_key t ~series ~target_max =
     (Digest.string
        (String.concat "\n"
           [
+            (* The canonical CSV carries no workload name, but the
+               rendered summary does — without the spec name in the key,
+               two requests differing only in "spec" would collide and
+               one would replay the other's summary line. *)
+            Printf.sprintf "spec=%s" series.Estima_counters.Series.spec_name;
             Estima_counters.Csv_export.series_to_csv series;
             Config.fingerprint t.config.base;
             Printf.sprintf "target_max=%d" target_max;
@@ -158,6 +171,34 @@ let admit t ~admitted ~pending ~id ~file ~csv ~spec_name ~target_max ~timeout_ms
 let deadline_of t request_timeout =
   match request_timeout with Some ms -> Some ms | None -> t.config.default_timeout_ms
 
+(* An exception that escapes anywhere on a request's path — dispatcher
+   or worker — becomes that request's (and only that request's) typed
+   [internal] error; the server, pool and cache stay usable. *)
+let internal_error t ~id ~subject ~arrival exn raw_backtrace =
+  count t "estima_internal_errors_total";
+  count t "estima_errors_total";
+  observe_latency t arrival;
+  Protocol.error_response ~id (Diag.of_exn ~subject exn raw_backtrace)
+
+let spec_of job = job.series.Estima_counters.Series.spec_name
+
+(* The test-only fault hook, applied around the pure pipeline call so
+   the harness can make predict raise, stall or return garbage for the
+   workloads it chose — see server.mli. *)
+let run_pipeline t job =
+  (match Hashtbl.find_opt t.faults (spec_of job) with
+  | Some (Fault_raise msg) -> failwith msg
+  | Some (Fault_delay seconds) -> Unix.sleepf seconds
+  | Some Fault_garbage | None -> ());
+  Api.predict ~config:t.config.base ~series:job.series ~target_max:job.target_max ()
+
+let garbage_rendered =
+  {
+    summary = "\x01garbage summary\x02";
+    rows = [ "NaN garbage NaN"; "\xff\xfe" ];
+    verdict = "garbage verdict";
+  }
+
 let handle_batch t lines =
   if not t.alive then failwith "Server.handle_batch: server is shut down";
   let arrival = t.clock () in
@@ -165,11 +206,8 @@ let handle_batch t lines =
   (* Pass 1 (dispatcher): parse, admit, ingest, consult the cache. *)
   let admitted = ref 0 in
   let pending = Hashtbl.create 16 in
-  let slots =
-    List.map
-      (fun line ->
-        count t "estima_requests_total";
-        match Protocol.parse_request line with
+  let dispatch line =
+    match Protocol.parse_request line with
         | Error (id, diag) ->
             count t "estima_errors_total";
             observe_latency t arrival;
@@ -201,7 +239,17 @@ let handle_batch t lines =
                         "estima_shed_deadline_total"
                     else Run { id; job }
                 | None -> Run { id; job })
-            | slot -> slot))
+            | slot -> slot)
+  in
+  let slots =
+    List.map
+      (fun line ->
+        count t "estima_requests_total";
+        match dispatch line with
+        | slot -> slot
+        | exception exn ->
+            let bt = Printexc.get_raw_backtrace () in
+            Ready (internal_error t ~id:Json.Null ~subject:"request" ~arrival exn bt))
       lines
   in
   (* Pass 2 (workers): unique uncached jobs fan out on the pool. *)
@@ -212,35 +260,58 @@ let handle_batch t lines =
   List.iter (fun job -> if not (Hashtbl.mem unique job.key) then Hashtbl.add unique job.key job) pending;
   let jobs = Array.of_list (Hashtbl.fold (fun _ job acc -> job :: acc) unique []) in
   Array.sort (fun a b -> String.compare a.key b.key) jobs;
-  let outcomes =
-    Estima_par.Pool.run t.pool jobs ~f:(fun job ->
-        Api.predict ~config:t.config.base ~series:job.series ~target_max:job.target_max ())
-  in
+  let outcomes = Estima_par.Pool.run t.pool jobs ~f:(run_pipeline t) in
+  (* Crash containment: a worker exception is an outcome, not a batch
+     failure.  Pool.run already captured exception and backtrace per
+     task; map each to a typed [internal] diagnostic charged to the jobs
+     that coalesced onto that key — every other slot proceeds untouched,
+     and the pool itself is unharmed (it runs every task to completion
+     and stays usable; see Pool.run's contract). *)
   let results = Hashtbl.create 16 in
   Array.iteri
     (fun i outcome ->
       match outcome with
       | Ok result -> Hashtbl.replace results jobs.(i).key result
-      | Error (exn, bt) -> Printexc.raise_with_backtrace exn bt)
+      | Error (exn, bt) ->
+          count t "estima_internal_errors_total";
+          Hashtbl.replace results jobs.(i).key
+            (Error (Diag.of_exn ~subject:(spec_of jobs.(i)) exn bt)))
     outcomes;
   (* Pass 3 (dispatcher): fill the cache, build responses in order. *)
+  let build slot =
+    match slot with
+    | Ready response -> response
+    | Bye id -> Protocol.shutdown_response ~id
+    | Run { id; job } -> (
+        match Hashtbl.find results job.key with
+        | Ok prediction ->
+            if Hashtbl.find_opt t.faults (spec_of job) = Some Fault_garbage then begin
+              (* Injected garbage is served (that is the fault being
+                 simulated) but never cached: the cache must stay clean
+                 for the same key once the fault is cleared. *)
+              observe_latency t job.arrival;
+              respond_rendered ~id garbage_rendered
+            end
+            else begin
+              let rendered = render prediction in
+              Fit_cache.add t.cache job.key rendered;
+              observe_latency t job.arrival;
+              respond_rendered ~id rendered
+            end
+        | Error diag ->
+            count t "estima_errors_total";
+            observe_latency t job.arrival;
+            Protocol.error_response ~id diag)
+  in
   let responses =
     List.map
       (fun slot ->
-        match slot with
-        | Ready response -> response
-        | Bye id -> Protocol.shutdown_response ~id
-        | Run { id; job } -> (
-            match Hashtbl.find results job.key with
-            | Ok prediction ->
-                let rendered = render prediction in
-                Fit_cache.add t.cache job.key rendered;
-                observe_latency t job.arrival;
-                respond_rendered ~id rendered
-            | Error diag ->
-                count t "estima_errors_total";
-                observe_latency t job.arrival;
-                Protocol.error_response ~id diag))
+        match build slot with
+        | response -> response
+        | exception exn ->
+            let bt = Printexc.get_raw_backtrace () in
+            let id = match slot with Run { id; _ } -> id | Bye id -> id | Ready _ -> Json.Null in
+            internal_error t ~id ~subject:"request" ~arrival exn bt)
       slots
   in
   (responses, if !shutdown_seen then `Shutdown else `Continue)

@@ -25,7 +25,16 @@
       for any [jobs];
     - {b metrics}: counters for requests, cache hits/misses, sheds and
       failures, plus a latency histogram, rendered by the [metrics]
-      command via {!Estima_obs.Metrics.render}.
+      command via {!Estima_obs.Metrics.render};
+    - {b crash containment}: an exception escaping the pipeline (or the
+      dispatcher itself) is captured per request — outcome by outcome
+      from {!Estima_par.Pool.run}, which runs every task to completion —
+      and answered with a typed {!Estima.Diag.Internal_error} (cause
+      ["internal"], exit code 5, message plus a truncated backtrace) on
+      the offending request only, counted in
+      [estima_internal_errors_total].  Faulted results never enter the
+      cache, and the server, pool and cache remain fully usable for the
+      rest of the batch and for every batch after.
 
     The dispatcher owns the cache and the metrics registry; worker
     domains only run the pure pipeline.  [handle_batch] is therefore not
@@ -66,3 +75,33 @@ val handle_batch : t -> string list -> string list * [ `Continue | `Shutdown ]
 
 val shutdown : t -> unit
 (** Join the worker pool.  Idempotent; [handle_batch] afterwards raises. *)
+
+(** {1 Fault injection — testing only}
+
+    A hook the fault-injection harness ([test/test_faults.ml], and
+    [estima_serve --inject-fault]) uses to make the predict pipeline
+    misbehave on chosen workloads, so crash containment can be proven
+    against real faults rather than hoped for.  Faults are keyed by the
+    ingested series' spec name (the request's ["spec"] member, or its
+    derived default).  Not for production use: a faulted server
+    deliberately serves wrong bytes for the chosen keys. *)
+
+type fault =
+  | Fault_raise of string
+      (** The pipeline raises [Failure msg] instead of returning — the
+          poisoned-request scenario.  Answered with a typed [internal]
+          error, exit code 5. *)
+  | Fault_delay of float
+      (** The pipeline stalls this many seconds before answering — the
+          timeout/slow-worker scenario. *)
+  | Fault_garbage
+      (** The response text is replaced with garbage bytes (the result
+          is {e not} cached) — the corrupted-result scenario. *)
+
+val inject_fault : t -> spec:string -> fault -> unit
+(** Arm [fault] for every predict request whose series is named [spec];
+    replaces any fault already armed for that spec. *)
+
+val clear_faults : t -> unit
+(** Disarm every fault; subsequent requests are served normally (and
+    correctly — garbage never reached the cache). *)

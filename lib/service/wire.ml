@@ -2,6 +2,9 @@
    buffer, peel off every complete line.  [\r\n] is accepted as [\n] so
    hand-typed sessions work from any terminal. *)
 
+module Metrics = Estima_obs.Metrics
+module Diag = Estima.Diag
+
 let split_lines buffer =
   let data = Buffer.contents buffer in
   match String.rindex_opt data '\n' with
@@ -14,6 +17,73 @@ let split_lines buffer =
              let n = String.length line in
              if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line)
 
+let default_max_buffer_bytes = 1 lsl 20
+
+(* Per-stream framing state.  [discarding] is set after an oversized
+   frame was shed: its bytes are dropped (bounded memory) until the next
+   newline resynchronises the stream. *)
+type stream = { buffer : Buffer.t; mutable discarding : bool }
+
+let new_stream () = { buffer = Buffer.create 4096; discarding = false }
+
+let count server name =
+  Metrics.Counter.incr (Metrics.counter (Server.metrics server) name)
+
+let frame_too_large server ~buffered ~limit =
+  count server "estima_frame_too_large_total";
+  count server "estima_errors_total";
+  Protocol.error_response ~id:Json.Null
+    (Diag.make ~stage:Diag.Serve ~subject:"connection"
+       (Diag.Frame_too_large { buffered; limit }))
+
+(* Feed [n] freshly read bytes into the stream and return the complete
+   lines now available.  When the residual (no newline yet) exceeds
+   [limit], the frame is shed: [shed] receives one typed
+   [frame-too-large] error line, the buffer is dropped, and the stream
+   discards until the next newline — an adversarial no-newline client
+   costs one chunk of memory, not an unbounded buffer. *)
+let ingest server stream ~limit ~shed chunk n =
+  let data = Bytes.sub_string chunk 0 n in
+  let data =
+    if not stream.discarding then data
+    else
+      match String.index_opt data '\n' with
+      | None -> ""
+      | Some i ->
+          stream.discarding <- false;
+          String.sub data (i + 1) (String.length data - i - 1)
+  in
+  if data = "" then []
+  else begin
+    Buffer.add_string stream.buffer data;
+    let lines = split_lines stream.buffer in
+    if Buffer.length stream.buffer > limit then begin
+      let buffered = Buffer.length stream.buffer in
+      Buffer.clear stream.buffer;
+      stream.discarding <- true;
+      shed (frame_too_large server ~buffered ~limit)
+    end;
+    lines
+  end
+
+(* EOF flush: a final line the peer never terminated is still a request
+   (satellite fix — it used to be dropped silently).  The tail of a
+   frame that was already shed as oversized stays dropped. *)
+let final_lines stream =
+  if stream.discarding then []
+  else begin
+    let lines = split_lines stream.buffer in
+    let tail = Buffer.contents stream.buffer in
+    Buffer.clear stream.buffer;
+    if tail = "" then lines
+    else
+      let tail =
+        let n = String.length tail in
+        if tail.[n - 1] = '\r' then String.sub tail 0 (n - 1) else tail
+      in
+      lines @ [ tail ]
+  end
+
 let write_all fd s =
   let len = String.length s in
   let rec go off = if off < len then go (off + Unix.write_substring fd s off (len - off)) in
@@ -24,27 +94,37 @@ let write_responses fd responses =
   | [] -> ()
   | responses -> write_all fd (String.concat "\n" responses ^ "\n")
 
-let serve_stdio server =
-  let buffer = Buffer.create 4096 in
+let serve_stdio ?(max_buffer_bytes = default_max_buffer_bytes) server =
+  let stream = new_stream () in
   let chunk = Bytes.create 65536 in
+  let handle lines =
+    match lines with
+    | [] -> `Continue
+    | lines ->
+        let responses, verdict = Server.handle_batch server lines in
+        write_responses Unix.stdout responses;
+        verdict
+  in
   let rec loop () =
     match Unix.read Unix.stdin chunk 0 (Bytes.length chunk) with
-    | 0 -> ()
+    | 0 -> ignore (handle (final_lines stream))
     | n -> (
-        Buffer.add_subbytes buffer chunk 0 n;
-        match split_lines buffer with
-        | [] -> loop ()
-        | lines -> (
-            let responses, verdict = Server.handle_batch server lines in
-            write_responses Unix.stdout responses;
-            match verdict with `Shutdown -> () | `Continue -> loop ()))
+        let lines =
+          ingest server stream ~limit:max_buffer_bytes
+            ~shed:(fun error -> write_responses Unix.stdout [ error ])
+            chunk n
+        in
+        match handle lines with `Shutdown -> () | `Continue -> loop ())
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
   in
   loop ()
 
-type connection = { fd : Unix.file_descr; buffer : Buffer.t }
+type connection = { fd : Unix.file_descr; stream : stream }
 
-let serve_socket server ~path =
+let default_max_connections = 64
+
+let serve_socket ?(max_buffer_bytes = default_max_buffer_bytes)
+    ?(max_connections = default_max_connections) server ~path =
   (* A peer hanging up mid-write must surface as EPIPE, not kill us. *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -56,22 +136,57 @@ let serve_socket server ~path =
     Hashtbl.remove connections conn.fd;
     try Unix.close conn.fd with Unix.Unix_error _ -> ()
   in
+  let send conn responses =
+    try write_responses conn.fd responses
+    with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> close_connection conn
+  in
   let chunk = Bytes.create 65536 in
   let stop = ref false in
+  let handle conn lines =
+    match lines with
+    | [] -> ()
+    | lines ->
+        let responses, verdict = Server.handle_batch server lines in
+        send conn responses;
+        (match verdict with `Shutdown -> stop := true | `Continue -> ())
+  in
   let service conn =
     match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
-    | 0 -> close_connection conn
-    | n -> (
-        Buffer.add_subbytes conn.buffer chunk 0 n;
-        match split_lines conn.buffer with
-        | [] -> ()
-        | lines -> (
-            let responses, verdict = Server.handle_batch server lines in
-            (try write_responses conn.fd responses
-             with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> close_connection conn);
-            match verdict with `Shutdown -> stop := true | `Continue -> ()))
+    | 0 ->
+        (* Peer EOF: an unterminated final line is still a request; its
+           responses go out before the close (the peer may have only
+           shut down its write side). *)
+        handle conn (final_lines conn.stream);
+        close_connection conn
+    | n ->
+        handle conn
+          (ingest server conn.stream ~limit:max_buffer_bytes
+             ~shed:(fun error -> send conn [ error ])
+             chunk n)
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> close_connection conn
+  in
+  let accept () =
+    match Unix.accept listener with
+    | exception Unix.Unix_error _ -> ()
+    | client, _ ->
+    if Hashtbl.length connections >= max_connections then begin
+      (* Connection cap: shed the newcomer with a typed error instead of
+         tracking state for it; established connections are unaffected. *)
+      count server "estima_connections_refused_total";
+      count server "estima_errors_total";
+      (try
+         write_responses client
+           [
+             Protocol.error_response ~id:Json.Null
+               (Diag.make ~stage:Diag.Serve ~subject:"connection"
+                  (Diag.Overloaded
+                     { pending = Hashtbl.length connections; capacity = max_connections }));
+           ]
+       with Unix.Unix_error _ -> ());
+      try Unix.close client with Unix.Unix_error _ -> ()
+    end
+    else Hashtbl.replace connections client { fd = client; stream = new_stream () }
   in
   while not !stop do
     let fds = listener :: Hashtbl.fold (fun fd _ acc -> fd :: acc) connections [] in
@@ -79,10 +194,7 @@ let serve_socket server ~path =
     | readable, _, _ ->
         List.iter
           (fun fd ->
-            if fd = listener then begin
-              let client, _ = Unix.accept listener in
-              Hashtbl.replace connections client { fd = client; buffer = Buffer.create 4096 }
-            end
+            if fd = listener then accept ()
             else
               match Hashtbl.find_opt connections fd with
               | Some conn -> service conn
@@ -90,6 +202,42 @@ let serve_socket server ~path =
           readable
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done;
-  Hashtbl.iter (fun _ conn -> try Unix.close conn.fd with Unix.Unix_error _ -> ()) connections;
+  (* Graceful drain: a shutdown stops the accept loop, but every other
+     connection whose requests have already arrived still gets its
+     answers.  One final non-blocking sweep pulls in bytes the kernel is
+     already holding, then each connection's parsed lines are served
+     before its close.  (Unterminated tails are not flushed here — these
+     peers are not at EOF, their line simply never ended.) *)
+  let remaining = Hashtbl.fold (fun _ conn acc -> conn :: acc) connections [] in
+  List.iter
+    (fun conn ->
+      let lines = ref [] in
+      Unix.set_nonblock conn.fd;
+      (try
+         let continue = ref true in
+         while !continue do
+           match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+           | 0 ->
+               continue := false;
+               (* This peer did reach EOF before the drain: flush an
+                  unterminated final line like the live path would. *)
+               lines := !lines @ final_lines conn.stream
+           | n ->
+               lines :=
+                 !lines
+                 @ ingest server conn.stream ~limit:max_buffer_bytes
+                     ~shed:(fun error -> send conn [ error ])
+                     chunk n
+         done
+       with
+      | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+      | Unix.Unix_error _ -> ());
+      (match !lines with
+      | [] -> ()
+      | lines ->
+          let responses, _ = Server.handle_batch server lines in
+          send conn responses);
+      close_connection conn)
+    remaining;
   Unix.close listener;
   try Unix.unlink path with Unix.Unix_error _ -> ()

@@ -6,15 +6,51 @@
     request batching (and within-batch cache dedup) for free, while an
     interactive client sees one-request batches.
 
+    Both are bounded against adversarial peers:
+
+    - the per-stream input buffer is capped at [max_buffer_bytes]
+      (default 1 MiB).  A peer that streams that much without a newline
+      is shed: one typed {!Estima.Diag.Frame_too_large} error line is
+      written (and [estima_frame_too_large_total] bumped), the buffered
+      bytes are dropped, and input is discarded until the next newline
+      resynchronises the stream — memory use stays bounded by one read
+      chunk, the connection stays up;
+    - a final line the peer never terminated is still handed to the
+      server when the stream reaches EOF, so piping a file without a
+      trailing newline answers every request in it;
+    - the socket listener additionally caps concurrent connections at
+      [max_connections] (default 64): a newcomer past the cap is
+      answered with one typed {!Estima.Diag.Overloaded} error line and
+      closed ([estima_connections_refused_total]), leaving established
+      connections untouched.
+
     Both return normally after a [shutdown] request (its response is
     written first) or when the peer side closes; they do not call
     {!Server.shutdown} — the caller owns the server's lifetime. *)
 
-val serve_stdio : Server.t -> unit
+val serve_stdio : ?max_buffer_bytes:int -> Server.t -> unit
 (** Serve one session over stdin/stdout.  Returns on EOF or [shutdown]. *)
 
-val serve_socket : Server.t -> path:string -> unit
+val serve_socket :
+  ?max_buffer_bytes:int -> ?max_connections:int -> Server.t -> path:string -> unit
 (** Listen on a Unix domain socket at [path] (an existing socket file
     there is replaced), serving any number of concurrent connections
     from one thread via [select].  Returns once a [shutdown] request has
-    been answered; the socket file is removed on the way out. *)
+    been answered — but drains first: every other connection whose
+    request lines have already arrived gets its responses written before
+    its connection is closed.  The socket file is removed on the way
+    out. *)
+
+(** {1 Framing internals, exposed for tests} *)
+
+val split_lines : Buffer.t -> string list
+(** Peel every complete line off the buffer, leaving the unterminated
+    tail in place: lines are separated by ['\n'], a trailing ['\r'] on a
+    line is stripped ([\r\n] framing), empty lines are preserved.
+    Returns [[]] (buffer untouched) when no newline has arrived yet. *)
+
+val default_max_buffer_bytes : int
+(** 1 MiB. *)
+
+val default_max_connections : int
+(** 64. *)

@@ -40,6 +40,8 @@ let every_cause =
     (Diag.No_realistic_fit { window = 12 }, "no-realistic-fit", 3);
     (Diag.Overloaded { pending = 64; capacity = 64 }, "overloaded", 4);
     (Diag.Deadline_exceeded { waited_ms = 120; timeout_ms = 100 }, "deadline-exceeded", 4);
+    (Diag.Frame_too_large { buffered = 1 lsl 20; limit = 1 lsl 20 }, "frame-too-large", 2);
+    (Diag.Internal_error { exn = "Failure(\"boom\")"; backtrace = "Raised at f" }, "internal", 5);
   ]
 
 let test_labels_and_exit_codes () =

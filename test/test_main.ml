@@ -15,5 +15,6 @@ let () =
       ("par", Test_par.suite);
       ("repro", Test_repro.suite);
       ("service", Test_service.suite);
+      ("faults", Test_faults.suite);
       ("properties", Test_properties.suite);
     ]

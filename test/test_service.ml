@@ -58,6 +58,127 @@ let test_json_errors () =
       | Error _ -> ())
     [ ""; "{"; "[1,"; "\"unterminated"; "{\"a\" 1}"; "nul"; "1 2"; "{\"a\":1,}" ]
 
+(* The two codec strictness fixes: \u escapes must be exactly four hex
+   digits (int_of_string's underscore tolerance must not leak into the
+   wire grammar), and number signs are only a leading '-' or part of an
+   exponent. *)
+let test_json_strictness () =
+  List.iter
+    (fun text ->
+      match Json.parse text with
+      | Ok _ -> Alcotest.failf "accepted %S" text
+      | Error _ -> ())
+    [
+      "\"\\u1_23\"";
+      "\"\\u123_\"";
+      "\"\\u12g4\"";
+      "\"\\u 123\"";
+      "\"\\u0x12\"";
+      "+5";
+      "[+5]";
+      "{\"n\":+5}";
+      "1+2";
+      "-+1";
+      "--1";
+      "5-";
+      "1e5e5";
+    ];
+  (* ...while the legitimate neighbours still parse. *)
+  List.iter
+    (fun (text, value) ->
+      match Json.parse text with
+      | Ok v -> Alcotest.(check bool) ("accept " ^ text) true (v = value)
+      | Error e -> Alcotest.failf "rejected %s: %s" text e)
+    [
+      ("\"\\u0041\"", Json.String "A");
+      ("\"\\uAbCd\"", Json.String "\xea\xaf\x8d");
+      ("-5", Json.Int (-5));
+      ("1e+5", Json.Float 100000.0);
+      ("2E-3", Json.Float 0.002);
+      ("-1.5e-3", Json.Float (-0.0015));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Wire framing                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_split_lines () =
+  let mk s =
+    let b = Buffer.create 16 in
+    Buffer.add_string b s;
+    b
+  in
+  (* No newline yet: nothing peeled, the tail stays buffered. *)
+  let b = mk "partial" in
+  Alcotest.(check (list string)) "no newline" [] (Wire.split_lines b);
+  Alcotest.(check string) "tail kept" "partial" (Buffer.contents b);
+  (* CRLF framing, empty lines preserved, unterminated tail kept. *)
+  let b = mk "a\r\nb\n\nc\npart" in
+  Alcotest.(check (list string)) "mixed" [ "a"; "b"; ""; "c" ] (Wire.split_lines b);
+  Alcotest.(check string) "tail" "part" (Buffer.contents b);
+  (* The next chunk completes the buffered tail. *)
+  Buffer.add_string b "ial\n";
+  Alcotest.(check (list string)) "tail completed" [ "partial" ] (Wire.split_lines b);
+  Alcotest.(check string) "buffer drained" "" (Buffer.contents b);
+  (* A lone \r is not a terminator; only \r\n is collapsed. *)
+  let b = mk "x\ry\n\r\n" in
+  Alcotest.(check (list string)) "lone CR kept" [ "x\ry"; "" ] (Wire.split_lines b);
+  (* Entirely empty input. *)
+  let b = mk "" in
+  Alcotest.(check (list string)) "empty" [] (Wire.split_lines b);
+  let b = mk "\n" in
+  Alcotest.(check (list string)) "single newline" [ "" ] (Wire.split_lines b)
+
+(* ------------------------------------------------------------------ *)
+(* Json round-trip property                                            *)
+(* ------------------------------------------------------------------ *)
+
+let json_gen ~with_floats =
+  let open QCheck.Gen in
+  let key = string_size ~gen:printable (int_range 0 8) in
+  let scalar =
+    let base =
+      [
+        (1, return Json.Null);
+        (2, map (fun b -> Json.Bool b) bool);
+        (4, map (fun n -> Json.Int n) (int_range (-1_000_000) 1_000_000));
+        (4, map (fun s -> Json.String s) (string_size (int_range 0 12)));
+      ]
+    in
+    frequency (if with_floats then (3, map (fun f -> Json.Float f) float) :: base else base)
+  in
+  sized
+    (fix (fun self n ->
+         if n <= 0 then scalar
+         else
+           frequency
+             [
+               (3, scalar);
+               (1, map (fun l -> Json.List l) (list_size (int_range 0 4) (self (n / 2))));
+               ( 1,
+                 map
+                   (fun kvs -> Json.Obj kvs)
+                   (list_size (int_range 0 4) (pair key (self (n / 2)))) );
+             ]))
+
+(* Values without floats round-trip exactly: parse (print v) = v.  The
+   string generator covers raw bytes 0..255, so control-character
+   escaping and non-ASCII passthrough are both exercised. *)
+let prop_json_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"json parse inverts print"
+    (QCheck.make (json_gen ~with_floats:false))
+    (fun v -> match Json.parse (Json.to_string v) with Ok v' -> v' = v | Error _ -> false)
+
+(* With floats the printed form is the canonical one (integral floats
+   print like ints, non-finite floats print as null), so the guarantee
+   is that printing is a fixpoint of print-then-parse. *)
+let prop_json_print_fixpoint =
+  QCheck.Test.make ~count:500 ~name:"json print is a parse fixpoint"
+    (QCheck.make (json_gen ~with_floats:true))
+    (fun v ->
+      let s = Json.to_string v in
+      match Json.parse s with Ok v' -> Json.to_string v' = s | Error _ -> false)
+
 (* ------------------------------------------------------------------ *)
 (* Metrics                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -333,8 +454,12 @@ let cli_predict path =
 
 
 let spawn_serve args =
-  let stdin_r, stdin_w = Unix.pipe ~cloexec:false () in
-  let stdout_r, stdout_w = Unix.pipe ~cloexec:false () in
+  (* cloexec: the child must NOT inherit the parent's pipe ends beyond
+     the dup2'd stdin/stdout, or closing [to_server] would never read as
+     EOF on the server side (it would hold its own copy of the write
+     end).  The EOF-flush tests depend on this. *)
+  let stdin_r, stdin_w = Unix.pipe ~cloexec:true () in
+  let stdout_r, stdout_w = Unix.pipe ~cloexec:true () in
   let pid =
     Unix.create_process serve_exe
       (Array.of_list (serve_exe :: args))
@@ -508,6 +633,10 @@ let suite =
   [
     ("json round-trip", `Quick, test_json_roundtrip);
     ("json rejects malformed input", `Quick, test_json_errors);
+    ("json strictness: \\u escapes and number signs", `Quick, test_json_strictness);
+    ("wire split_lines edge cases", `Quick, test_split_lines);
+    QCheck_alcotest.to_alcotest prop_json_roundtrip;
+    QCheck_alcotest.to_alcotest prop_json_print_fixpoint;
     ("metrics counters", `Quick, test_metrics_counters);
     ("metrics histogram is order-independent", `Quick, test_metrics_histogram_deterministic);
     ("fit cache is LRU", `Quick, test_cache_lru);
