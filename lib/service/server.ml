@@ -273,7 +273,6 @@ let handle_batch t lines =
       match outcome with
       | Ok result -> Hashtbl.replace results jobs.(i).key result
       | Error (exn, bt) ->
-          count t "estima_internal_errors_total";
           Hashtbl.replace results jobs.(i).key
             (Error (Diag.of_exn ~subject:(spec_of jobs.(i)) exn bt)))
     outcomes;
@@ -299,6 +298,14 @@ let handle_batch t lines =
               respond_rendered ~id rendered
             end
         | Error diag ->
+            (* Internal errors are counted here, per request slot, so
+               [estima_internal_errors_total] and [estima_errors_total]
+               move together even when several requests coalesced onto
+               one failed key — matching the dispatcher-exception path
+               ([internal_error]), which also counts per request. *)
+            (match diag.Diag.cause with
+            | Diag.Internal_error _ -> count t "estima_internal_errors_total"
+            | _ -> ());
             count t "estima_errors_total";
             observe_latency t job.arrival;
             Protocol.error_response ~id diag)

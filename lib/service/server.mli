@@ -31,8 +31,10 @@
       from {!Estima_par.Pool.run}, which runs every task to completion —
       and answered with a typed {!Estima.Diag.Internal_error} (cause
       ["internal"], exit code 5, message plus a truncated backtrace) on
-      the offending request only, counted in
-      [estima_internal_errors_total].  Faulted results never enter the
+      the offending request only, counted once per affected request in
+      [estima_internal_errors_total] (so it moves in step with
+      [estima_errors_total] even when duplicate requests coalesced onto
+      one failed computation).  Faulted results never enter the
       cache, and the server, pool and cache remain fully usable for the
       rest of the batch and for every batch after.
 

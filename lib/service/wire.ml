@@ -37,12 +37,14 @@ let frame_too_large server ~buffered ~limit =
        (Diag.Frame_too_large { buffered; limit }))
 
 (* Feed [n] freshly read bytes into the stream and return the complete
-   lines now available.  When the residual (no newline yet) exceeds
-   [limit], the frame is shed: [shed] receives one typed
-   [frame-too-large] error line, the buffer is dropped, and the stream
-   discards until the next newline — an adversarial no-newline client
-   costs one chunk of memory, not an unbounded buffer. *)
-let ingest server stream ~limit ~shed chunk n =
+   lines now available, plus at most one typed [frame-too-large] error
+   line when the residual (no newline yet) exceeded [limit]: the buffer
+   is dropped and the stream discards until the next newline — an
+   adversarial no-newline client costs one chunk of memory, not an
+   unbounded buffer.  The error is returned rather than written here so
+   the caller can emit it after the responses to the complete lines,
+   which arrived first on the wire. *)
+let ingest server stream ~limit chunk n =
   let data = Bytes.sub_string chunk 0 n in
   let data =
     if not stream.discarding then data
@@ -53,17 +55,20 @@ let ingest server stream ~limit ~shed chunk n =
           stream.discarding <- false;
           String.sub data (i + 1) (String.length data - i - 1)
   in
-  if data = "" then []
+  if data = "" then ([], None)
   else begin
     Buffer.add_string stream.buffer data;
     let lines = split_lines stream.buffer in
-    if Buffer.length stream.buffer > limit then begin
-      let buffered = Buffer.length stream.buffer in
-      Buffer.clear stream.buffer;
-      stream.discarding <- true;
-      shed (frame_too_large server ~buffered ~limit)
-    end;
-    lines
+    let shed =
+      if Buffer.length stream.buffer > limit then begin
+        let buffered = Buffer.length stream.buffer in
+        Buffer.clear stream.buffer;
+        stream.discarding <- true;
+        Some (frame_too_large server ~buffered ~limit)
+      end
+      else None
+    in
+    (lines, shed)
   end
 
 (* EOF flush: a final line the peer never terminated is still a request
@@ -109,17 +114,20 @@ let serve_stdio ?(max_buffer_bytes = default_max_buffer_bytes) server =
     match Unix.read Unix.stdin chunk 0 (Bytes.length chunk) with
     | 0 -> ignore (handle (final_lines stream))
     | n -> (
-        let lines =
-          ingest server stream ~limit:max_buffer_bytes
-            ~shed:(fun error -> write_responses Unix.stdout [ error ])
-            chunk n
-        in
-        match handle lines with `Shutdown -> () | `Continue -> loop ())
+        let lines, shed = ingest server stream ~limit:max_buffer_bytes chunk n in
+        let verdict = handle lines in
+        Option.iter (fun error -> write_responses Unix.stdout [ error ]) shed;
+        match verdict with `Shutdown -> () | `Continue -> loop ())
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
   in
   loop ()
 
-type connection = { fd : Unix.file_descr; stream : stream }
+(* [closed] makes every write path a no-op once the fd is gone: a send
+   that hits a dead peer closes the connection, and any later send for
+   the same batch (or the drain) must not touch the recycled fd — an
+   fd-table lookup is not enough, since the kernel may reuse the number
+   for a newly accepted client. *)
+type connection = { fd : Unix.file_descr; stream : stream; mutable closed : bool }
 
 let default_max_connections = 64
 
@@ -133,12 +141,17 @@ let serve_socket ?(max_buffer_bytes = default_max_buffer_bytes)
   Unix.listen listener 16;
   let connections : (Unix.file_descr, connection) Hashtbl.t = Hashtbl.create 8 in
   let close_connection conn =
-    Hashtbl.remove connections conn.fd;
-    try Unix.close conn.fd with Unix.Unix_error _ -> ()
+    if not conn.closed then begin
+      conn.closed <- true;
+      Hashtbl.remove connections conn.fd;
+      try Unix.close conn.fd with Unix.Unix_error _ -> ()
+    end
   in
   let send conn responses =
-    try write_responses conn.fd responses
-    with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> close_connection conn
+    if not conn.closed then
+      try write_responses conn.fd responses
+      with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
+        close_connection conn
   in
   let chunk = Bytes.create 65536 in
   let stop = ref false in
@@ -159,10 +172,9 @@ let serve_socket ?(max_buffer_bytes = default_max_buffer_bytes)
         handle conn (final_lines conn.stream);
         close_connection conn
     | n ->
-        handle conn
-          (ingest server conn.stream ~limit:max_buffer_bytes
-             ~shed:(fun error -> send conn [ error ])
-             chunk n)
+        let lines, shed = ingest server conn.stream ~limit:max_buffer_bytes chunk n in
+        handle conn lines;
+        Option.iter (fun error -> send conn [ error ]) shed
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> close_connection conn
   in
@@ -186,7 +198,9 @@ let serve_socket ?(max_buffer_bytes = default_max_buffer_bytes)
        with Unix.Unix_error _ -> ());
       try Unix.close client with Unix.Unix_error _ -> ()
     end
-    else Hashtbl.replace connections client { fd = client; stream = new_stream () }
+    else
+      Hashtbl.replace connections client
+        { fd = client; stream = new_stream (); closed = false }
   in
   while not !stop do
     let fds = listener :: Hashtbl.fold (fun fd _ acc -> fd :: acc) connections [] in
@@ -208,36 +222,71 @@ let serve_socket ?(max_buffer_bytes = default_max_buffer_bytes)
      already holding, then each connection's parsed lines are served
      before its close.  (Unterminated tails are not flushed here — these
      peers are not at EOF, their line simply never ended.) *)
+  (* The drained fds stay non-blocking for the response writes too, so a
+     stalled reader (full receive buffer) surfaces as EAGAIN rather than
+     blocking shutdown forever: retry via select-for-writable under a
+     deadline, then give the peer up. *)
+  let drain_send conn responses =
+    if responses <> [] && not conn.closed then begin
+      let payload = String.concat "\n" responses ^ "\n" in
+      let len = String.length payload in
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      let rec go off =
+        if off < len && not conn.closed then
+          match Unix.write_substring conn.fd payload off (len - off) with
+          | n -> go (off + n)
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+              let remaining = deadline -. Unix.gettimeofday () in
+              if remaining <= 0.0 then close_connection conn
+              else begin
+                (match Unix.select [] [ conn.fd ] [] remaining with
+                | _ -> ()
+                | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+                go off
+              end
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+          | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
+              close_connection conn
+      in
+      go 0
+    end
+  in
   let remaining = Hashtbl.fold (fun _ conn acc -> conn :: acc) connections [] in
   List.iter
     (fun conn ->
-      let lines = ref [] in
-      Unix.set_nonblock conn.fd;
+      (* One misbehaving peer must not abort the drain of the rest: any
+         Unix error escaping this connection's sweep only costs this
+         connection its responses. *)
       (try
-         let continue = ref true in
-         while !continue do
-           match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
-           | 0 ->
-               continue := false;
-               (* This peer did reach EOF before the drain: flush an
-                  unterminated final line like the live path would. *)
-               lines := !lines @ final_lines conn.stream
-           | n ->
-               lines :=
-                 !lines
-                 @ ingest server conn.stream ~limit:max_buffer_bytes
-                     ~shed:(fun error -> send conn [ error ])
-                     chunk n
-         done
-       with
-      | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
-      | Unix.Unix_error _ -> ());
-      (match !lines with
-      | [] -> ()
-      | lines ->
-          let responses, _ = Server.handle_batch server lines in
-          send conn responses);
+         let lines = ref [] and errors = ref [] in
+         Unix.set_nonblock conn.fd;
+         (try
+            let continue = ref true in
+            while !continue do
+              match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+              | 0 ->
+                  continue := false;
+                  (* This peer did reach EOF before the drain: flush an
+                     unterminated final line like the live path would. *)
+                  lines := !lines @ final_lines conn.stream
+              | n ->
+                  let batch, shed =
+                    ingest server conn.stream ~limit:max_buffer_bytes chunk n
+                  in
+                  lines := !lines @ batch;
+                  Option.iter (fun error -> errors := !errors @ [ error ]) shed
+            done
+          with
+         | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+         | Unix.Unix_error _ -> ());
+         (match !lines with
+         | [] -> ()
+         | lines ->
+             let responses, _ = Server.handle_batch server lines in
+             drain_send conn responses);
+         drain_send conn !errors
+       with Unix.Unix_error _ -> ());
       close_connection conn)
     remaining;
-  Unix.close listener;
+  (try Unix.close listener with Unix.Unix_error _ -> ());
   try Unix.unlink path with Unix.Unix_error _ -> ()

@@ -11,8 +11,11 @@
     - the per-stream input buffer is capped at [max_buffer_bytes]
       (default 1 MiB).  A peer that streams that much without a newline
       is shed: one typed {!Estima.Diag.Frame_too_large} error line is
-      written (and [estima_frame_too_large_total] bumped), the buffered
-      bytes are dropped, and input is discarded until the next newline
+      written (and [estima_frame_too_large_total] bumped) after the
+      responses to complete lines from the same read — those requests
+      arrived first, so positional clients see wire order preserved —
+      the buffered bytes are dropped, and input is discarded until the
+      next newline
       resynchronises the stream — memory use stays bounded by one read
       chunk, the connection stays up;
     - a final line the peer never terminated is still handed to the

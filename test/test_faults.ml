@@ -195,6 +195,18 @@ let test_stdio_fault_injection () =
     (contains ~sub:"counter estima_internal_errors_total 1" dump);
   Alcotest.(check bool) "shed frames counted" true
     (contains ~sub:"counter estima_frame_too_large_total 1" dump);
+  (* Wire order: a chunk carrying a valid request followed by an
+     oversized unterminated residual answers the request first, then
+     sheds — positional clients see responses in arrival order. *)
+  output_string to_server (line ~id:7 ~spec:(spec_of path_a) csv_a ^ "\n" ^ String.make 9000 'y');
+  flush to_server;
+  Alcotest.(check string) "request before the oversized residual answered first" expected_a
+    (response_text (input_line from_server));
+  (match error_cause (input_line from_server) with
+  | Some ("frame-too-large", 2) -> ()
+  | _ -> Alcotest.fail "expected frame-too-large after the response");
+  (* Resynchronise the discarded stream before the final exchange. *)
+  output_string to_server "\n";
   (* Satellite: a final line the client never terminated is still a
      request — shutdown without a trailing newline, then EOF. *)
   output_string to_server "{\"id\":6,\"op\":\"shutdown\"}";
@@ -294,6 +306,23 @@ let test_socket_fault_injection () =
   Alcotest.(check string) "unterminated final line answered" expected
     (response_text (input_line ic3));
   Unix.close fd3;
+  (* Write-after-close regression: one peer sends a valid request plus
+     an oversized unterminated frame in the same chunk and hangs up
+     without reading.  The response write can hit the dead peer (EPIPE)
+     and close the connection; the shed error that follows must then be
+     dropped, not written to the closed fd — the server survives
+     whichever way the race lands. *)
+  let fd4, oc4, _ = connect socket_path in
+  output_string oc4 (line ~id:13 ~spec csv ^ "\n" ^ String.make 9000 'x');
+  flush oc4;
+  Unix.close fd4;
+  Unix.sleepf 0.2;
+  let fd5, oc5, ic5 = connect socket_path in
+  output_string oc5 (line ~id:14 ~spec csv ^ "\n");
+  flush oc5;
+  Alcotest.(check string) "served after a mid-shed hangup" expected
+    (response_text (input_line ic5));
+  Unix.close fd5;
   (* Shutdown during drain: connection A's request lands while the
      server is busy with connection B's batch (a delayed predict
      followed by shutdown).  The drain must still answer A before the
