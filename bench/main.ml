@@ -9,6 +9,8 @@
      bench/main.exe --no-micro        skip the Bechamel microbenchmarks
      bench/main.exe --fit-timing      only report fit-search timing per
                                       pipeline stage (trace spans+counters)
+     bench/main.exe --accuracy        backtest the validation corpus and
+                                      print the T4-style accuracy table
      bench/main.exe --jobs N          run fit search and experiments on N
                                       domains (default: ESTIMA_JOBS or 1)
      bench/main.exe --par-scaling [ID ...]
@@ -115,6 +117,24 @@ let fit_timing () =
   Format.printf "@.counters:@.%a@." Estima_obs.Trace_render.pp_counters
     (Estima_obs.Recorder.counters recorder);
   Printf.printf "total predict time: %.3f ms (cpu)\n%!" (1e3 *. elapsed)
+
+(* ------------------------- accuracy table ------------------------- *)
+
+(* The held-out backtest of the validation corpus (Estima_validate),
+   printed as the T4-style accuracy table — the human-readable view of
+   what `estima_cli validate` gates on.  No golden comparison and no
+   differential here: this is the report, not the gate. *)
+let accuracy () =
+  Estima_repro.Render.heading
+    "[BENCH] validation-corpus accuracy (measure 1 socket, predict full machine)";
+  match Estima_validate.Corpus.run Estima_validate.Corpus.default with
+  | Error d ->
+      prerr_endline (Diag.render d);
+      exit (Diag.exit_code d)
+  | Ok reports ->
+      print_string (Estima_validate.Report.table reports);
+      print_newline ();
+      print_string (Estima_validate.Report.summary_lines (Estima_validate.Report.summarize reports))
 
 (* ----------------------- parallel scaling ------------------------- *)
 
@@ -227,6 +247,7 @@ let () =
   if List.mem "--list" args then
     List.iter (fun (id, _) -> print_endline id) Estima_repro.All.experiments
   else if List.mem "--fit-timing" args then fit_timing ()
+  else if List.mem "--accuracy" args then accuracy ()
   else if List.mem "--par-scaling" args then
     par_scaling (List.filter (fun a -> a <> "--par-scaling") args)
   else begin

@@ -6,6 +6,7 @@
      predict                   measure on a small machine, predict a big one
      compare                   ESTIMA vs time extrapolation vs ground truth
      bottleneck                rank future stall categories
+     validate                  accuracy gate: backtest vs golden corpus
      repro                     run one or all paper experiments *)
 
 open Cmdliner
@@ -106,12 +107,20 @@ let restrict machine = function
   | None -> machine
   | Some sockets -> Machines.restrict_sockets machine ~sockets
 
+(* Diagnostic exit convention: 2 = malformed input, 3 = well-formed input
+   ESTIMA cannot extrapolate (no realistic fit). *)
+let fail_diag d =
+  prerr_endline (Diag.render d);
+  exit (Diag.exit_code d)
+
+let unwrap_diag = function Ok v -> v | Error d -> fail_diag d
+
+(* Through Api.collect_checked so an out-of-range --window is a typed
+   diagnostic (exit 2), not an allocator exception. *)
 let collect_series ~entry ~machine ~max_threads ~seed ~repetitions =
-  Collector.collect
-    ~options:{ Collector.default_options with Collector.seed; plugins = entry.Suite.plugins; repetitions }
-    ~machine ~spec:entry.Suite.spec
-    ~thread_counts:(Collector.default_thread_counts ~max:max_threads)
-    ()
+  unwrap_diag
+    (Api.collect_checked ~seed ~repetitions ~plugins:entry.Suite.plugins ~machine
+       ~spec:entry.Suite.spec ~max_threads ())
 
 (* ---------------------------- list ------------------------------- *)
 
@@ -152,6 +161,7 @@ let collect_cmd =
   let run entry machine sockets window seed reps csv plugin_config =
     let machine = restrict machine sockets in
     let max_threads = Option.value ~default:(Topology.cores machine) window in
+    unwrap_diag (Api.validate_window ~machine ~max_threads);
     let config_plugins =
       match plugin_config with
       | None -> []
@@ -191,14 +201,6 @@ let collect_cmd =
       $ sockets_arg $ window_arg $ seed_arg $ reps_arg $ csv_arg $ plugin_config_arg)
 
 (* --------------------------- predict ------------------------------ *)
-
-(* Diagnostic exit convention: 2 = malformed input, 3 = well-formed input
-   ESTIMA cannot extrapolate (no realistic fit). *)
-let fail_diag d =
-  prerr_endline (Diag.render d);
-  exit (Diag.exit_code d)
-
-let unwrap_diag = function Ok v -> v | Error d -> fail_diag d
 
 let from_arg =
   Arg.(
@@ -379,6 +381,109 @@ let bottleneck_cmd =
       $ machine_arg ~default:Machines.opteron48 [ "target"; "t" ] "Target machine."
       $ sockets_arg $ window_arg $ seed_arg $ reps_arg $ trace_arg $ jobs_arg)
 
+(* --------------------------- validate ----------------------------- *)
+
+(* The accuracy gate (Estima_validate.Gate): backtest the corpus, compare
+   against the golden snapshots, prove the three prediction surfaces
+   byte-identical.  Exit codes: 0 pass, 1 gate failure, the usual
+   diagnostic codes when the backtest itself cannot run. *)
+let validate_cmd =
+  let golden_arg =
+    Arg.(
+      value
+      & opt string (Filename.concat "test" "golden")
+      & info [ "golden" ] ~docv:"DIR" ~doc:"Golden corpus directory.")
+  in
+  let bless_flag =
+    Arg.(
+      value & flag
+      & info [ "bless" ]
+          ~doc:
+            "Write (overwrite) the golden files from this run instead of comparing against            them.  Review the diff before committing.")
+  in
+  let json_flag =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the machine-readable JSON report instead of text.")
+  in
+  let epsilon_arg =
+    Arg.(
+      value
+      & opt float Estima_validate.Golden.default_epsilon
+      & info [ "epsilon" ] ~docv:"E"
+          ~doc:
+            "Tolerance on error statistics (absolute, on relative-error fractions).  Verdicts,            stop points and the confusion matrix must always match exactly.")
+  in
+  let only_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"WORKLOAD"
+          ~doc:"Validate only these corpus workloads (default: the full corpus).")
+  in
+  let no_differential_flag =
+    Arg.(
+      value & flag
+      & info [ "no-differential" ]
+          ~doc:"Skip the CLI/Api/server byte-identity differential (golden comparison only).")
+  in
+  let work_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "work-dir" ] ~docv:"DIR"
+          ~doc:"Existing directory for the differential's CSV inputs (default: a fresh temp dir).")
+  in
+  let cli_bin_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cli-bin" ] ~docv:"PATH" ~doc:"estima_cli binary for the differential.")
+  in
+  let serve_bin_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "serve-bin" ] ~docv:"PATH" ~doc:"estima_serve binary for the differential.")
+  in
+  let perturb_flag =
+    Arg.(
+      value & flag
+      & info [ "perturb" ]
+          ~doc:
+            "DEV ONLY.  Skew every fit kernel before backtesting, to demonstrate that the gate            fails when the engine regresses.  Never bless a perturbed run.")
+  in
+  let run golden bless json epsilon only no_differential work_dir cli_bin serve_bin perturb jobs
+      =
+    apply_jobs jobs;
+    let options =
+      {
+        (Estima_validate.Gate.default_options ~golden_dir:golden) with
+        Estima_validate.Gate.bless;
+        epsilon;
+        names = (match only with [] -> Estima_validate.Corpus.default_names | names -> names);
+        differential = not no_differential;
+        work_dir;
+        cli_bin;
+        serve_bin;
+        perturb;
+      }
+    in
+    match Estima_validate.Gate.run options with
+    | Error d -> fail_diag d
+    | Ok outcome ->
+        if json then
+          print_string
+            (Estima_validate.Report.pretty (Estima_validate.Gate.json_of_outcome outcome))
+        else print_string (Estima_validate.Gate.render_text outcome);
+        if not outcome.Estima_validate.Gate.passed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:
+         "Backtest the validation corpus against held-out ground truth, compare the accuracy          reports with the golden snapshots under test/golden/, and prove estima_cli,          Estima.Api and estima_serve byte-identical.  Exits 1 when the gate fails.")
+    Term.(
+      const run $ golden_arg $ bless_flag $ json_flag $ epsilon_arg $ only_arg
+      $ no_differential_flag $ work_dir_arg $ cli_bin_arg $ serve_bin_arg $ perturb_flag
+      $ jobs_arg)
+
 (* ---------------------------- repro ------------------------------- *)
 
 let repro_cmd =
@@ -410,4 +515,7 @@ let repro_cmd =
 let () =
   let doc = "extrapolating scalability of in-memory applications" in
   let info = Cmd.info "estima_cli" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; collect_cmd; predict_cmd; compare_cmd; bottleneck_cmd; repro_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; collect_cmd; predict_cmd; compare_cmd; bottleneck_cmd; validate_cmd; repro_cmd ]))

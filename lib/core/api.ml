@@ -15,6 +15,31 @@ let collect ?(seed = 42) ?(repetitions = 5) ?(plugins = []) ~machine ~spec ~max_
     ~thread_counts:(Collector.default_thread_counts ~max:max_threads)
     ()
 
+let validate_window ~machine ~max_threads =
+  let limit = Estima_machine.Topology.hardware_threads machine in
+  if max_threads < 1 then
+    Diag.error ~stage:Diag.Collect ~subject:machine.Estima_machine.Topology.name
+      (Diag.Bad_config { what = Printf.sprintf "measurement window %d (need >= 1)" max_threads })
+  else if max_threads > limit then
+    Diag.error ~stage:Diag.Collect ~subject:machine.Estima_machine.Topology.name
+      (Diag.Bad_config
+         {
+           what =
+             Printf.sprintf "measurement window %d exceeds the machine's %d hardware threads"
+               max_threads limit;
+         })
+  else Ok ()
+
+let collect_checked ?(seed = 42) ?(repetitions = 5) ?(plugins = []) ~machine ~spec ~max_threads
+    () =
+  match validate_window ~machine ~max_threads with
+  | Error _ as e -> e
+  | Ok () ->
+      if repetitions < 1 then
+        Diag.error ~stage:Diag.Collect ~subject:spec.Estima_sim.Spec.name
+          (Diag.Bad_config { what = Printf.sprintf "repetitions %d (need >= 1)" repetitions })
+      else Ok (collect ~seed ~repetitions ~plugins ~machine ~spec ~max_threads ())
+
 let spec_name_of_path path = Filename.remove_extension (Filename.basename path)
 
 let load_series ?spec_name ~machine path =

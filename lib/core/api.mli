@@ -52,6 +52,29 @@ val collect :
     (the paper's measurement sweep).  Defaults: seed 42, 5 averaged
     repetitions, no software plugins. *)
 
+val validate_window :
+  machine:Estima_machine.Topology.t -> max_threads:int -> (unit, Diag.t) result
+(** Check a measurement window against the machine before collecting:
+    [max_threads] must be at least 1 and no larger than the machine's
+    hardware thread count.  Violations are a typed
+    {!Diag.Bad_config} (stage [Collect], exit code 2), never an
+    exception. *)
+
+val collect_checked :
+  ?seed:int ->
+  ?repetitions:int ->
+  ?plugins:Plugin.t list ->
+  machine:Estima_machine.Topology.t ->
+  spec:Estima_sim.Spec.t ->
+  max_threads:int ->
+  unit ->
+  (Series.t, Diag.t) result
+(** {!collect} behind {!validate_window} (plus a repetitions check):
+    out-of-range requests — a window larger than the machine, a
+    non-positive window or repetition count — come back as typed
+    diagnostics instead of [Invalid_argument] from deep inside the
+    allocator.  In-range behaviour is identical to {!collect}. *)
+
 val load_series :
   ?spec_name:string ->
   machine:Estima_machine.Topology.t ->

@@ -20,6 +20,13 @@ val capacity : 'a t -> int
 
 val length : 'a t -> int
 
+val hits : 'a t -> int
+(** {!find} calls that returned a value, since creation. *)
+
+val misses : 'a t -> int
+(** {!find} calls that returned [None], since creation.  [hits + misses]
+    is exactly the number of [find] calls ({!add} never counts). *)
+
 val find : 'a t -> string -> 'a option
 (** Look up a key and mark it most recently used. *)
 

@@ -1,0 +1,46 @@
+(** Differential testing of the three prediction surfaces.
+
+    The repo's core serving claim is that [estima_cli predict --from], a
+    direct {!Estima.Api.predict}, and a round trip through [estima_serve]
+    produce {e byte-identical} prediction text for the same CSV — PR 4
+    built that property in by construction; this module proves it stays
+    true, for every corpus workload, under both a sequential and a
+    parallel fit search.
+
+    {!run} writes each source's measurement window to a CSV file, then
+    for every jobs setting computes the prediction text three ways —
+    in-process through the Api, by spawning the CLI binary, and by
+    piping NDJSON predict requests through one [estima_serve] stdio
+    process — and compares the three texts byte for byte. *)
+
+val default_jobs : int list
+(** [[1; 4]] — the same two settings CI runs the test suite under. *)
+
+type observation = {
+  workload : string;
+  jobs : int;
+  api : string;  (** Assembled exactly as the CLI prints it. *)
+  cli : string;  (** Captured [estima_cli predict --from] stdout. *)
+  server : string;  (** Reassembled from the NDJSON response members. *)
+}
+
+val run :
+  ?jobs_settings:int list ->
+  ?cli_bin:string ->
+  ?serve_bin:string ->
+  dir:string ->
+  Backtest.source list ->
+  (observation list, string list) result
+(** Execute the differential over every source × jobs setting.  [dir]
+    must exist and is where the CSV inputs are written ([<name>.csv],
+    overwritten freely).  [cli_bin]/[serve_bin] default to ["estima_cli"]
+    and ["estima_serve"] next to the running executable's [../bin]
+    directory — the layout of a dune build tree.  [Ok] returns every
+    observation (all three texts equal, non-empty); [Error] lists one
+    human-readable line per mismatch or process failure.  The global
+    {!Estima_par.Fanout} jobs setting is restored on exit. *)
+
+val first_divergence : string -> string -> string
+(** Human rendering of where two supposedly identical texts diverge:
+    the 1-based line number and both lines (or a length difference).
+    Used in mismatch messages; exposed for tests. *)

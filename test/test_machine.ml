@@ -131,6 +131,99 @@ let test_host_rejects_garbage () =
   Alcotest.(check bool) "empty" true (Host.read_proc_cpuinfo "" = None);
   Alcotest.(check bool) "no cores field" true (Host.read_proc_cpuinfo "processor: 0\n" = None)
 
+(* ------------------------------------------------------------------ *)
+(* Topology edge cases: out-of-range measurement requests must be      *)
+(* typed diagnostics (exit 2), never an exception from the allocator.  *)
+(* ------------------------------------------------------------------ *)
+
+let single_core_host =
+  Host.of_raw
+    {
+      Host.sockets = 1;
+      cores_per_socket = 1;
+      threads_per_core = 1;
+      model_name = "uniprocessor";
+      vendor = Topology.Intel;
+      mhz = 2000.0;
+    }
+
+let kmeans_spec =
+  match Estima_workloads.Suite.find "kmeans" with
+  | Some entry -> entry.Estima_workloads.Suite.spec
+  | None -> Alcotest.fail "kmeans missing from the suite"
+
+let test_single_core_host () =
+  (match Topology.validate single_core_host with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "single-core host invalid: %s" e);
+  Alcotest.(check int) "one core" 1 (Topology.cores single_core_host);
+  Alcotest.(check int) "one hardware thread" 1 (Topology.hardware_threads single_core_host);
+  (* Measuring it works, and the one-point series rides the constant
+     fallback: a finite flat extrapolation that cannot claim scaling —
+     never an exception out of the allocator or the fitter. *)
+  let series =
+    match
+      Estima.Api.collect_checked ~repetitions:1 ~machine:single_core_host ~spec:kmeans_spec
+        ~max_threads:1 ()
+    with
+    | Ok series -> series
+    | Error d -> Alcotest.failf "collect on a single core must work: %s" (Estima.Diag.render d)
+  in
+  match Estima.Api.predict ~series ~target_max:48 () with
+  | Error d -> Alcotest.failf "one-point series must still predict: %s" (Estima.Diag.render d)
+  | Ok p ->
+      Alcotest.(check bool) "finite positive times" true
+        (Array.for_all (fun t -> Float.is_finite t && t > 0.0) p.Estima.Predictor.predicted_times);
+      (* Constant extrapolated stalls translate to ideal speedup, so the
+         optimistic verdict for a zero-information series is "scales". *)
+      (match Estima.Api.verdict p with
+      | Estima.Diag.Quality.Scales -> ()
+      | v ->
+          Alcotest.failf "constant stalls must scale ideally, got %s"
+            (Estima.Diag.Quality.verdict_to_string v))
+
+let test_window_larger_than_machine () =
+  let opteron1s = Machines.restrict_sockets Machines.opteron48 ~sockets:1 in
+  let expect_bad_config what = function
+    | Error d -> (
+        match d.Estima.Diag.cause with
+        | Estima.Diag.Bad_config _ -> Alcotest.(check int) (what ^ ": exit 2") 2 (Estima.Diag.exit_code d)
+        | _ -> Alcotest.failf "%s: expected Bad_config, got %s" what (Estima.Diag.render d))
+    | Ok _ -> Alcotest.failf "%s: accepted" what
+  in
+  expect_bad_config "window 13 on 12 threads" (Estima.Api.validate_window ~machine:opteron1s ~max_threads:13);
+  expect_bad_config "window 2 on a single core" (Estima.Api.validate_window ~machine:single_core_host ~max_threads:2);
+  expect_bad_config "window 0" (Estima.Api.validate_window ~machine:opteron1s ~max_threads:0);
+  (match Estima.Api.validate_window ~machine:opteron1s ~max_threads:12 with
+  | Ok () -> ()
+  | Error d -> Alcotest.failf "full window rejected: %s" (Estima.Diag.render d));
+  (* collect_checked guards the same way instead of letting
+     Allocation.place raise, and checks repetitions too. *)
+  expect_bad_config "collect_checked window 999"
+    (Result.map ignore
+       (Estima.Api.collect_checked ~machine:opteron1s ~spec:kmeans_spec ~max_threads:999 ()));
+  expect_bad_config "collect_checked repetitions 0"
+    (Result.map ignore
+       (Estima.Api.collect_checked ~repetitions:0 ~machine:opteron1s ~spec:kmeans_spec
+          ~max_threads:4 ()))
+
+let test_non_contiguous_grid () =
+  (* A thread grid with holes (batch schedulers hand out odd
+     allocations): collection and prediction must both cope. *)
+  let opteron1s = Machines.restrict_sockets Machines.opteron48 ~sockets:1 in
+  let grid = [ 1; 2; 3; 5; 8; 12 ] in
+  let series =
+    Estima_counters.Collector.collect
+      ~options:{ Estima_counters.Collector.default_options with Estima_counters.Collector.repetitions = 1 }
+      ~machine:opteron1s ~spec:kmeans_spec ~thread_counts:grid ()
+  in
+  Alcotest.(check (list int)) "grid preserved" grid
+    (Array.to_list (Array.map int_of_float (Estima_counters.Series.threads series)));
+  match Estima.Api.predict ~series ~target_max:48 () with
+  | Ok p ->
+      Alcotest.(check int) "full target grid" 48 (Array.length p.Estima.Predictor.target_grid)
+  | Error d -> Alcotest.failf "non-contiguous grid must predict: %s" (Estima.Diag.render d)
+
 let suite =
   [
     ("machine inventory", `Quick, test_machine_inventory);
@@ -147,4 +240,7 @@ let suite =
     ("opteron intra socket numa", `Quick, test_opteron_intra_socket_numa);
     ("frequency scaling", `Quick, test_frequency_scaling);
     ("validate catches bad machines", `Quick, test_validate_catches_bad_machines);
+    ("single-core host predicts without exceptions", `Quick, test_single_core_host);
+    ("window larger than machine: typed Bad_config", `Quick, test_window_larger_than_machine);
+    ("non-contiguous core grid collects and predicts", `Quick, test_non_contiguous_grid);
   ]

@@ -16,5 +16,7 @@ let () =
       ("repro", Test_repro.suite);
       ("service", Test_service.suite);
       ("faults", Test_faults.suite);
+      ("exit-codes", Test_exit_codes.suite);
+      ("validate", Test_validate.suite);
       ("properties", Test_properties.suite);
     ]

@@ -269,6 +269,162 @@ let prop_error_metric_zero_for_perfect_prediction =
       let e = Estima.Diag.Quality.evaluate ~predicted:times ~measured:times ~target_grid:grid () in
       e.Estima.Diag.Quality.max_error = 0.0 && e.Estima.Diag.Quality.verdict_agrees)
 
+(* ------------------------------------------------------------------ *)
+(* Fit_cache: model-based LRU properties                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Reference model: an assoc list of (key, value), most recently used
+   first, bounded at [capacity].  Both find and add move the key to the
+   front; inserting a fresh key into a full cache drops the last
+   (least recently used) element.  Counters track find outcomes only. *)
+module Cache_model = struct
+  type t = { capacity : int; mutable entries : (string * int) list; mutable hits : int; mutable misses : int }
+
+  let create ~capacity = { capacity; entries = []; hits = 0; misses = 0 }
+
+  let find m key =
+    match List.assoc_opt key m.entries with
+    | None ->
+        m.misses <- m.misses + 1;
+        None
+    | Some v ->
+        m.hits <- m.hits + 1;
+        m.entries <- (key, v) :: List.remove_assoc key m.entries;
+        Some v
+
+  let add m key value =
+    let without = List.remove_assoc key m.entries in
+    let without =
+      if List.mem_assoc key m.entries || List.length without < m.capacity then without
+      else List.filteri (fun i _ -> i < m.capacity - 1) without
+    in
+    m.entries <- (key, value) :: without
+end
+
+type cache_op = Cache_add of int * int | Cache_find of int
+
+let cache_op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (1, map2 (fun k v -> Cache_add (k, v)) (int_range 0 5) (int_range 0 1000));
+        (1, map (fun k -> Cache_find k) (int_range 0 5));
+      ])
+
+let cache_op_print = function
+  | Cache_add (k, v) -> Printf.sprintf "add k%d %d" k v
+  | Cache_find k -> Printf.sprintf "find k%d" k
+
+let cache_ops_arb =
+  QCheck.make
+    ~print:QCheck.Print.(list cache_op_print)
+    QCheck.Gen.(list_size (int_range 0 60) cache_op_gen)
+
+let prop_fit_cache_matches_model =
+  QCheck.Test.make ~count:200 ~name:"fit cache behaves as the model LRU" cache_ops_arb (fun ops ->
+      let capacity = 3 in
+      let cache = Estima_service.Fit_cache.create ~capacity in
+      let model = Cache_model.create ~capacity in
+      List.for_all
+        (fun op ->
+          match op with
+          | Cache_add (k, v) ->
+              let key = "k" ^ string_of_int k in
+              Estima_service.Fit_cache.add cache key v;
+              Cache_model.add model key v;
+              true
+          | Cache_find k ->
+              let key = "k" ^ string_of_int k in
+              Estima_service.Fit_cache.find cache key = Cache_model.find model key)
+        ops
+      && Estima_service.Fit_cache.length cache = List.length model.Cache_model.entries
+      && Estima_service.Fit_cache.length cache <= capacity
+      && Estima_service.Fit_cache.capacity cache = capacity
+      && Estima_service.Fit_cache.hits cache = model.Cache_model.hits
+      && Estima_service.Fit_cache.misses cache = model.Cache_model.misses
+      && Estima_service.Fit_cache.hits cache + Estima_service.Fit_cache.misses cache
+         = List.length (List.filter (function Cache_find _ -> true | _ -> false) ops))
+
+(* ------------------------------------------------------------------ *)
+(* CSV round trip on adversarial floats                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The %.17g contract: parse . print is the identity on every finite
+   float, bit for bit — including negative zero, subnormals and values
+   at the top of the representable range. *)
+let adversarial_float =
+  QCheck.Gen.(
+    frequency
+      [
+        ( 1,
+          oneofl
+            [
+              -0.0;
+              0.0;
+              4.9406564584124654e-324 (* min subnormal *);
+              -4.9406564584124654e-324;
+              2.2250738585072014e-308 (* min normal *);
+              1.7976931348623157e+308 (* max finite *);
+              -1.7976931348623157e+308;
+              0.1 +. 0.2;
+              1.0 /. 3.0;
+              epsilon_float;
+            ] );
+        (2, float_range (-1e18) 1e18);
+        (1, map (fun f -> f *. 1e-310) (float_range (-1.0) 1.0)) (* random subnormals *);
+      ])
+
+let bits = Int64.bits_of_float
+
+let adversarial_sample_arb =
+  (* threads grows per sample index; counter values are the adversarial
+     payload.  Times must be positive and finite per the CSV contract. *)
+  QCheck.make
+    ~print:QCheck.Print.(list (list float))
+    QCheck.Gen.(list_size (int_range 1 8) (list_repeat 3 adversarial_float))
+
+let prop_csv_roundtrip_adversarial =
+  QCheck.Test.make ~count:200 ~name:"csv parse . print is the identity on adversarial floats"
+    adversarial_sample_arb (fun rows ->
+      let machine = Machines.opteron48 in
+      let samples =
+        List.mapi
+          (fun i row ->
+            let c = List.nth row 0 and d = List.nth row 1 and e = List.nth row 2 in
+            {
+              Estima_counters.Sample.threads = i + 1;
+              time_seconds = 0.1 +. (0.9 /. float_of_int (i + 1));
+              cycles = Float.abs c +. 1.0;
+              counters = [ ("0D2h", c); ("0D5h", d) ];
+              software = [ ("stm-abort", e) ];
+              footprint_lines = i * 64;
+              useful_cycles = Float.abs d;
+            })
+          rows
+      in
+      let series = Estima_counters.Series.make ~machine ~spec_name:"prop" samples in
+      let csv = Estima_counters.Csv_export.series_to_csv series in
+      match Estima_counters.Series_io.parse ~machine ~spec_name:"prop" csv with
+      | Error e -> QCheck.Test.fail_report (Estima_counters.Series_io.render_error e)
+      | Ok back ->
+          let same_float a b = bits a = bits b in
+          Array.length back.Estima_counters.Series.samples = List.length samples
+          && List.for_all2
+               (fun (a : Estima_counters.Sample.t) (b : Estima_counters.Sample.t) ->
+                 a.Estima_counters.Sample.threads = b.Estima_counters.Sample.threads
+                 && same_float a.Estima_counters.Sample.time_seconds b.Estima_counters.Sample.time_seconds
+                 && same_float a.Estima_counters.Sample.cycles b.Estima_counters.Sample.cycles
+                 && same_float a.Estima_counters.Sample.useful_cycles b.Estima_counters.Sample.useful_cycles
+                 && a.Estima_counters.Sample.footprint_lines = b.Estima_counters.Sample.footprint_lines
+                 && List.for_all2
+                      (fun (n1, v1) (n2, v2) -> n1 = n2 && same_float v1 v2)
+                      a.Estima_counters.Sample.counters b.Estima_counters.Sample.counters
+                 && List.for_all2
+                      (fun (n1, v1) (n2, v2) -> n1 = n2 && same_float v1 v2)
+                      a.Estima_counters.Sample.software b.Estima_counters.Sample.software)
+               samples
+               (Array.to_list back.Estima_counters.Series.samples))
+
 let suite =
   List.map to_alcotest
     [
@@ -289,4 +445,6 @@ let suite =
       prop_approximation_interpolates_linear_data;
       prop_extrapolation_clamped_accounting;
       prop_error_metric_zero_for_perfect_prediction;
+      prop_fit_cache_matches_model;
+      prop_csv_roundtrip_adversarial;
     ]
