@@ -17,7 +17,13 @@
                                       time the reproduction (or the given
                                       experiments) at jobs in {1,2,4,cores},
                                       check the outputs are byte-identical,
-                                      and write BENCH_par.json *)
+                                      and write BENCH_par.json
+     bench/main.exe --sim-scaling [ID ...]
+                                      time each experiment cold (empty
+                                      measurement store) then warm (same
+                                      store dir), check byte-identity, and
+                                      write BENCH_sim.json (default set:
+                                      F1 F2 F5) *)
 
 open Estima_machine
 open Estima_sim
@@ -163,6 +169,26 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+(* Host metadata stamped into every BENCH_*.json so trajectory files
+   collected on different machines are comparable: available
+   parallelism, compiler, and the commit the binary was built from
+   ("unknown" outside a git checkout). *)
+let git_describe () =
+  match Unix.open_process_in "git describe --always --dirty 2>/dev/null" with
+  | exception _ -> "unknown"
+  | ic -> (
+      let line = try String.trim (input_line ic) with End_of_file -> "" in
+      match Unix.close_process_in ic with
+      | Unix.WEXITED 0 when line <> "" -> line
+      | _ -> "unknown"
+      | exception _ -> "unknown")
+
+let host_json () =
+  Printf.sprintf "\"host\": { \"cores\": %d, \"ocaml\": \"%s\", \"git\": \"%s\" }"
+    (Domain.recommended_domain_count ())
+    (json_escape Sys.ocaml_version)
+    (json_escape (git_describe ()))
+
 (* Time the selected experiments at each jobs setting, cold-starting the
    measurement cache every run so the runs are comparable, and verify
    that every parallel run's output is byte-identical to jobs=1 —
@@ -200,10 +226,13 @@ let par_scaling ids =
         if not identical then
           Printf.printf "WARNING: jobs=%d output differs from jobs=1 (%d vs %d bytes)\n" jobs
             (String.length output) (String.length base_output);
+        (* More domains than cores cannot speed anything up: flag the row
+           so a trajectory diff reads it as "host too small", not as a
+           parallelism regression. *)
         Printf.sprintf
           "    { \"jobs\": %d, \"wall_s\": %.4f, \"speedup_vs_jobs1\": %.3f, \"output_bytes\": %d, \
-           \"output_identical_to_jobs1\": %b }"
-          jobs wall (base_wall /. wall) (String.length output) identical)
+           \"output_identical_to_jobs1\": %b, \"parallelism_unavailable\": %b }"
+          jobs wall (base_wall /. wall) (String.length output) identical (jobs > cores))
       runs
   in
   let all_identical =
@@ -212,9 +241,9 @@ let par_scaling ids =
   Printf.printf "\noutputs byte-identical across jobs settings: %b\n" all_identical;
   let json =
     Printf.sprintf
-      "{\n  \"bench\": \"par-scaling\",\n  \"cores\": %d,\n  \"experiments\": [%s],\n  \"runs\": [\n%s\n  \
-       ],\n  \"outputs_identical\": %b\n}\n"
-      cores
+      "{\n  \"bench\": \"par-scaling\",\n  %s,\n  \"cores\": %d,\n  \"experiments\": [%s],\n  \
+       \"runs\": [\n%s\n  ],\n  \"outputs_identical\": %b\n}\n"
+      (host_json ()) cores
       (String.concat ", " (List.map (fun (id, _) -> "\"" ^ json_escape id ^ "\"") experiments))
       (String.concat ",\n" rows) all_identical
   in
@@ -222,6 +251,76 @@ let par_scaling ids =
   output_string oc json;
   close_out oc;
   Printf.printf "wrote BENCH_par.json\n%!";
+  if not all_identical then exit 1
+
+(* ------------------------ simulation scaling ---------------------- *)
+
+(* Cold-vs-warm trajectory of the measurement plane: run each experiment
+   against an initially empty disk store (cold — every series is
+   simulated, then persisted), drop the in-memory tier, and run it again
+   over the same directory (warm — every series is read back).  Outputs
+   must be byte-identical; the wall-clock pair per experiment is the
+   number BENCH_sim.json tracks over time. *)
+let sim_scaling ids =
+  let experiments = resolve_experiments (match ids with [] -> [ "F1"; "F2"; "F5" ] | ids -> ids) in
+  let store = Estima_store.Store.default () in
+  let saved_dir = Estima_store.Store.dir store in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "estima-sim-scaling.%d" (Unix.getpid ()))
+  in
+  Estima_store.Store.set_dir store (Some dir);
+  Estima_repro.Render.heading "[BENCH] cold vs warm simulation (measurement store)";
+  Printf.printf "experiments: %s\nstore: %s\n\n"
+    (String.concat ", " (List.map fst experiments))
+    dir;
+  let time_one (id, run) =
+    (* reset_cache between the two runs drops the in-memory tier, so the
+       warm run exercises the disk path, not the promise table. *)
+    Estima_repro.Lab.reset_cache ();
+    let t0 = Unix.gettimeofday () in
+    let (), cold_output = Estima_repro.Render.with_capture run in
+    let cold_s = Unix.gettimeofday () -. t0 in
+    Estima_repro.Lab.reset_cache ();
+    let t1 = Unix.gettimeofday () in
+    let (), warm_output = Estima_repro.Render.with_capture run in
+    let warm_s = Unix.gettimeofday () -. t1 in
+    let identical = String.equal cold_output warm_output in
+    if not identical then
+      Printf.printf "WARNING: %s warm output differs from cold (%d vs %d bytes)\n" id
+        (String.length warm_output) (String.length cold_output);
+    Printf.printf "%-4s cold %8.2f s   warm %8.2f s   (%.1fx)\n%!" id cold_s warm_s
+      (cold_s /. Float.max 1e-9 warm_s);
+    (id, cold_s, warm_s, identical)
+  in
+  let runs = List.map time_one experiments in
+  Estima_store.Store.set_dir store saved_dir;
+  let all_identical = List.for_all (fun (_, _, _, i) -> i) runs in
+  let total f = List.fold_left (fun acc r -> acc +. f r) 0.0 runs in
+  let cold_total = total (fun (_, c, _, _) -> c) and warm_total = total (fun (_, _, w, _) -> w) in
+  Printf.printf "\ntotal: cold %.2f s, warm %.2f s; outputs byte-identical: %b\n" cold_total
+    warm_total all_identical;
+  let rows =
+    List.map
+      (fun (id, cold_s, warm_s, identical) ->
+        Printf.sprintf
+          "    { \"experiment\": \"%s\", \"cold_s\": %.4f, \"warm_s\": %.4f, \
+           \"warm_speedup\": %.3f, \"outputs_identical\": %b }"
+          (json_escape id) cold_s warm_s (cold_s /. Float.max 1e-9 warm_s) identical)
+      runs
+  in
+  let json =
+    Printf.sprintf
+      "{\n  \"bench\": \"sim-scaling\",\n  %s,\n  \"runs\": [\n%s\n  ],\n  \"cold_total_s\": \
+       %.4f,\n  \"warm_total_s\": %.4f,\n  \"outputs_identical\": %b\n}\n"
+      (host_json ())
+      (String.concat ",\n" rows)
+      cold_total warm_total all_identical
+  in
+  let oc = open_out "BENCH_sim.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_sim.json\n%!";
   if not all_identical then exit 1
 
 (* ----------------------------- driver ----------------------------- *)
@@ -250,6 +349,8 @@ let () =
   else if List.mem "--accuracy" args then accuracy ()
   else if List.mem "--par-scaling" args then
     par_scaling (List.filter (fun a -> a <> "--par-scaling") args)
+  else if List.mem "--sim-scaling" args then
+    sim_scaling (List.filter (fun a -> a <> "--sim-scaling") args)
   else begin
     let micro = not (List.mem "--no-micro" args) in
     let ids = List.filter (fun a -> a <> "--no-micro") args in

@@ -7,7 +7,8 @@
      compare                   ESTIMA vs time extrapolation vs ground truth
      bottleneck                rank future stall categories
      validate                  accuracy gate: backtest vs golden corpus
-     repro                     run one or all paper experiments *)
+     repro                     run one or all paper experiments
+     store                     inspect/clear/warm the on-disk measurement store *)
 
 open Cmdliner
 open Estima_machine
@@ -93,7 +94,7 @@ let jobs_arg =
     & opt (some int) None
     & info [ "jobs"; "j" ] ~docv:"N"
         ~doc:
-          "Run the fit search (and, for $(b,repro), the experiments) on $(docv) domains.            Defaults to $(b,ESTIMA_JOBS) or 1.  Results are byte-identical to a            sequential run regardless of $(docv).")
+          "Run the fit search (and, for $(b,repro), the experiments) on $(docv) domains.            Defaults to $(b,ESTIMA_JOBS), or the host's available parallelism when unset            (clamped to the submitted work).  Results are byte-identical to a sequential run            regardless of $(docv).")
 
 (* --jobs beats ESTIMA_JOBS; without it the env default stays in force. *)
 let apply_jobs = function
@@ -102,6 +103,20 @@ let apply_jobs = function
   | Some _ ->
       prerr_endline "estima_cli: --jobs must be >= 1";
       exit 1
+
+let store_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:
+          "Persist measurement series in the content-addressed store under $(docv) and reuse            matching entries on later runs (also settable via $(b,ESTIMA_STORE)).  A warm            entry is byte-identical to a fresh collection, so outputs never change; default            off.")
+
+(* --store beats ESTIMA_STORE; without it the env default (read when the
+   default store is first touched) stays in force. *)
+let apply_store = function
+  | None -> ()
+  | Some dir -> Estima_store.Store.set_dir (Estima_store.Store.default ()) (Some dir)
 
 let restrict machine = function
   | None -> machine
@@ -158,7 +173,8 @@ let plugin_config_arg =
           "Plugin configuration file (paper Section 4.1): stanzas of name/source/expression/combine            applied to the runtime's report.")
 
 let collect_cmd =
-  let run entry machine sockets window seed reps csv plugin_config =
+  let run entry machine sockets window seed reps csv plugin_config store =
+    apply_store store;
     let machine = restrict machine sockets in
     let max_threads = Option.value ~default:(Topology.cores machine) window in
     unwrap_diag (Api.validate_window ~machine ~max_threads);
@@ -173,7 +189,7 @@ let collect_cmd =
               exit 1)
     in
     let series =
-      Collector.collect
+      Estima_store.Store.Cached.collect
         ~options:
           { Collector.seed; plugins = entry.Suite.plugins; config_plugins; repetitions = reps }
         ~machine ~spec:entry.Suite.spec
@@ -198,7 +214,8 @@ let collect_cmd =
     Term.(
       const run $ workload_arg
       $ machine_arg ~default:Machines.opteron48 [ "machine"; "m" ] "Machine to measure on."
-      $ sockets_arg $ window_arg $ seed_arg $ reps_arg $ csv_arg $ plugin_config_arg)
+      $ sockets_arg $ window_arg $ seed_arg $ reps_arg $ csv_arg $ plugin_config_arg
+      $ store_arg)
 
 (* --------------------------- predict ------------------------------ *)
 
@@ -263,8 +280,10 @@ let ingested_series ~path ~machine ~software ~expr =
       (series, true)
 
 let predict_cmd =
-  let run entry from measure_machine sockets window target software expr seed reps trace jobs =
+  let run entry from measure_machine sockets window target software expr seed reps trace jobs
+      store =
     apply_jobs jobs;
+    apply_store store;
     let measure_machine = restrict measure_machine sockets in
     let series, include_software =
       match (from, entry) with
@@ -308,13 +327,15 @@ let predict_cmd =
           [ "machine"; "m" ] "Measurements machine."
       $ sockets_arg $ window_arg
       $ machine_arg ~default:Machines.opteron48 [ "target"; "t" ] "Target machine."
-      $ predict_software_arg $ expr_arg $ seed_arg $ reps_arg $ trace_arg $ jobs_arg)
+      $ predict_software_arg $ expr_arg $ seed_arg $ reps_arg $ trace_arg $ jobs_arg
+      $ store_arg)
 
 (* --------------------------- compare ------------------------------ *)
 
 let compare_cmd =
-  let run entry target software seed reps jobs =
+  let run entry target software seed reps jobs store =
     apply_jobs jobs;
+    apply_store store;
     ignore software;
     let setup =
       {
@@ -352,13 +373,14 @@ let compare_cmd =
     Term.(
       const run $ workload_arg
       $ machine_arg ~default:Machines.opteron48 [ "target"; "t" ] "Machine (measure 1 socket, predict all)."
-      $ software_arg $ seed_arg $ reps_arg $ jobs_arg)
+      $ software_arg $ seed_arg $ reps_arg $ jobs_arg $ store_arg)
 
 (* -------------------------- bottleneck ---------------------------- *)
 
 let bottleneck_cmd =
-  let run entry target sockets window seed reps trace jobs =
+  let run entry target sockets window seed reps trace jobs store =
     apply_jobs jobs;
+    apply_store store;
     let measure_machine = restrict target (Some (Option.value ~default:1 sockets)) in
     let max_threads = Option.value ~default:(Topology.cores measure_machine) window in
     let series = collect_series ~entry ~machine:measure_machine ~max_threads ~seed ~repetitions:reps in
@@ -379,7 +401,7 @@ let bottleneck_cmd =
     Term.(
       const run $ workload_arg
       $ machine_arg ~default:Machines.opteron48 [ "target"; "t" ] "Target machine."
-      $ sockets_arg $ window_arg $ seed_arg $ reps_arg $ trace_arg $ jobs_arg)
+      $ sockets_arg $ window_arg $ seed_arg $ reps_arg $ trace_arg $ jobs_arg $ store_arg)
 
 (* --------------------------- validate ----------------------------- *)
 
@@ -451,8 +473,9 @@ let validate_cmd =
             "DEV ONLY.  Skew every fit kernel before backtesting, to demonstrate that the gate            fails when the engine regresses.  Never bless a perturbed run.")
   in
   let run golden bless json epsilon only no_differential work_dir cli_bin serve_bin perturb jobs
-      =
+      store =
     apply_jobs jobs;
+    apply_store store;
     let options =
       {
         (Estima_validate.Gate.default_options ~golden_dir:golden) with
@@ -482,14 +505,15 @@ let validate_cmd =
     Term.(
       const run $ golden_arg $ bless_flag $ json_flag $ epsilon_arg $ only_arg
       $ no_differential_flag $ work_dir_arg $ cli_bin_arg $ serve_bin_arg $ perturb_flag
-      $ jobs_arg)
+      $ jobs_arg $ store_arg)
 
 (* ---------------------------- repro ------------------------------- *)
 
 let repro_cmd =
   let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (all if omitted).") in
-  let run ids jobs =
+  let run ids jobs store =
     apply_jobs jobs;
+    apply_store store;
     match ids with
     | [] -> Estima_repro.All.run_all ()
     | ids ->
@@ -510,7 +534,73 @@ let repro_cmd =
         Estima_repro.All.run_many entries
   in
   Cmd.v (Cmd.info "repro" ~doc:"Run paper experiments (see `estima_cli list` for ids).")
-    Term.(const run $ ids $ jobs_arg)
+    Term.(const run $ ids $ jobs_arg $ store_arg)
+
+(* ---------------------------- store ------------------------------- *)
+
+(* Maintenance of the on-disk measurement store.  Every action needs a
+   directory (--store or ESTIMA_STORE): the memory tier is per-process,
+   so there is nothing for a fresh CLI invocation to inspect. *)
+let store_cmd =
+  let action_arg =
+    let actions = Arg.enum [ ("stats", `Stats); ("clear", `Clear); ("warm", `Warm) ] in
+    Arg.(
+      required
+      & pos 0 (some actions) None
+      & info [] ~docv:"ACTION"
+          ~doc:
+            "$(b,stats) lists the entries; $(b,clear) deletes them; $(b,warm) pre-collects the            validation corpus (measurements and ground-truth sweeps) so later $(b,validate),            $(b,repro) and $(b,predict) runs read instead of simulating.")
+  in
+  let warm_names_arg =
+    Arg.(
+      value & pos_right 0 string []
+      & info [] ~docv:"WORKLOAD"
+          ~doc:"For $(b,warm): restrict to these corpus workloads (default: the full corpus).")
+  in
+  let run action names jobs store =
+    apply_jobs jobs;
+    apply_store store;
+    let store = Estima_store.Store.default () in
+    let dir =
+      match Estima_store.Store.dir store with
+      | Some dir -> dir
+      | None ->
+          prerr_endline "estima_cli store: no store directory; pass --store DIR or set ESTIMA_STORE";
+          exit 2
+    in
+    match action with
+    | `Stats ->
+        let entries = Estima_store.Store.disk_entries store in
+        let bytes = List.fold_left (fun acc (_, b) -> acc + b) 0 entries in
+        Printf.printf "store %s: %d entries, %d bytes\n" dir (List.length entries) bytes;
+        List.iter (fun (fp, b) -> Printf.printf "  %s %8d\n" fp b) entries
+    | `Clear -> Printf.printf "store %s: removed %d entries\n" dir (Estima_store.Store.clear_disk store)
+    | `Warm ->
+        let specs =
+          match names with
+          | [] -> Estima_validate.Corpus.default
+          | names -> (
+              match Estima_validate.Corpus.of_names names with
+              | Ok specs -> specs
+              | Error e ->
+                  prerr_endline ("estima_cli store warm: " ^ e);
+                  exit 2)
+        in
+        (* Corpus.source materialises both series of each workload through
+           the store, which persists them; the sources themselves are
+           discarded.  Fanned out so --jobs/ESTIMA_JOBS applies. *)
+        ignore
+          (Estima_par.Fanout.map (Array.of_list specs) ~f:(fun spec ->
+               ignore (Estima_validate.Corpus.source spec)));
+        let s = Estima_store.Store.stats store in
+        Printf.printf "store %s: warmed %d workloads (%d collected, %d already present)\n" dir
+          (List.length specs) s.Estima_store.Store.misses s.Estima_store.Store.hits
+  in
+  Cmd.v
+    (Cmd.info "store"
+       ~doc:
+         "Inspect, clear or pre-populate the on-disk measurement store (--store DIR or          ESTIMA_STORE).")
+    Term.(const run $ action_arg $ warm_names_arg $ jobs_arg $ store_arg)
 
 let () =
   let doc = "extrapolating scalability of in-memory applications" in
@@ -518,4 +608,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; collect_cmd; predict_cmd; compare_cmd; bottleneck_cmd; validate_cmd; repro_cmd ]))
+          [
+            list_cmd;
+            collect_cmd;
+            predict_cmd;
+            compare_cmd;
+            bottleneck_cmd;
+            validate_cmd;
+            repro_cmd;
+            store_cmd;
+          ]))

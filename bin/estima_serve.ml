@@ -73,6 +73,14 @@ let timeout_arg =
         ~doc:
           "Default queue-wait deadline: a request still waiting after $(docv) ms is shed with            a typed `deadline-exceeded` error.  Requests may override with their own            timeout_ms member.  Without this option requests wait forever.")
 
+let store_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:
+          "Persist simulated measurement series (\"workload\" predict requests) in the            content-addressed store under $(docv) and reuse matching entries across restarts            (also settable via $(b,ESTIMA_STORE)).  Warm entries are byte-identical to a fresh            collection; default off.")
+
 let socket_arg =
   Arg.(
     value
@@ -129,7 +137,7 @@ let inject_fault_arg =
           "TESTING ONLY.  Make the predict pipeline misbehave for series named SPEC:            $(docv) is SPEC:raise[:MSG] (raise instead of answering — served as a typed            `internal` error, exit code 5), SPEC:delay:SECONDS (stall before answering) or            SPEC:garbage (serve garbage bytes, bypassing the cache).  Repeatable.")
 
 let serve machine sockets target jobs queue cache timeout_ms socket_path max_buffer max_conns
-    faults =
+    faults store_dir =
   if max_buffer < 1 then begin
     prerr_endline (Printf.sprintf "estima_serve: --max-buffer %d: must be >= 1" max_buffer);
     exit 1
@@ -151,6 +159,7 @@ let serve machine sockets target jobs queue cache timeout_ms socket_path max_buf
       queue_capacity = queue;
       cache_capacity = cache;
       default_timeout_ms = timeout_ms;
+      store_dir;
     }
   in
   match Server.create config with
@@ -184,6 +193,7 @@ let cmd =
     (Cmd.info "estima_serve" ~version:"1.0.0" ~doc ~man)
     Term.(
       const serve $ machine_arg $ sockets_arg $ target_arg $ jobs_arg $ queue_arg $ cache_arg
-      $ timeout_arg $ socket_arg $ max_buffer_arg $ max_conns_arg $ inject_fault_arg)
+      $ timeout_arg $ socket_arg $ max_buffer_arg $ max_conns_arg $ inject_fault_arg
+      $ store_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -8,8 +8,14 @@ module Quality = Diag.Quality
 module Prediction = Predictor
 module Bottleneck = Bottleneck
 
+(* Collection resolves through the shared measurement store: repeated
+   collects of the same request (same spec, machine, window, seed,
+   repetitions, plugins) return the memoised series, and with a store
+   directory configured (ESTIMA_STORE / --store) the series persists
+   across processes.  The simulator is deterministic per request, so the
+   caching is observationally transparent — byte-identical series. *)
 let collect ?(seed = 42) ?(repetitions = 5) ?(plugins = []) ~machine ~spec ~max_threads () =
-  Collector.collect
+  Estima_store.Store.Cached.collect
     ~options:{ Collector.default_options with Collector.seed; plugins; repetitions }
     ~machine ~spec
     ~thread_counts:(Collector.default_thread_counts ~max:max_threads)

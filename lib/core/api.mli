@@ -50,7 +50,11 @@ val collect :
   Series.t
 (** Measure [spec] on [machine] at every core count 1..[max_threads]
     (the paper's measurement sweep).  Defaults: seed 42, 5 averaged
-    repetitions, no software plugins. *)
+    repetitions, no software plugins.  Resolves through the shared
+    measurement store ({!Estima_store.Store}): repeated identical
+    requests return the memoised series, and with [ESTIMA_STORE] (or the
+    CLI's [--store]) set the series persists on disk across processes —
+    byte-identical to a fresh collection either way. *)
 
 val validate_window :
   machine:Estima_machine.Topology.t -> max_threads:int -> (unit, Diag.t) result

@@ -1,10 +1,25 @@
-type t = { mutable state : int64 }
+(* The 64-bit state lives as raw bits in a one-cell float array: float
+   array loads and stores are unboxed in classic (non-flambda) mode, and
+   [Int64.bits_of_float] / [Int64.float_of_bits] compile to register
+   moves, so advancing the generator allocates nothing.  A [mutable
+   int64] field would hold a pointer to a boxed Int64 and every state
+   store would allocate a 3-word box on the per-draw path. *)
+type t = float array
+
+let[@inline always] get_state (t : t) = Int64.bits_of_float (Array.unsafe_get t 0)
+
+let[@inline always] set_state (t : t) s = Array.unsafe_set t 0 (Int64.float_of_bits s)
 
 let golden_gamma = 0x9E3779B97F4A7C15L
 
-let create seed = { state = Int64.of_int seed }
+let of_state s : t =
+  let t = [| 0.0 |] in
+  set_state t s;
+  t
 
-let copy t = { state = t.state }
+let create seed = of_state (Int64.of_int seed)
+
+let copy (t : t) = of_state (get_state t)
 
 (* splitmix64 finaliser (Steele, Lea, Flood 2014). *)
 let mix z =
@@ -12,41 +27,59 @@ let mix z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-let int64 t =
-  t.state <- Int64.add t.state golden_gamma;
-  mix t.state
+(* The drawing functions below each advance the state and apply the
+   finaliser in one body instead of calling [int64] (which calls [mix]):
+   without flambda those calls are not reliably inlined, and every call
+   boundary boxes its Int64 result.  Fused, the intermediates stay in
+   registers.  The arithmetic is identical, so every stream is bit-for-bit
+   unchanged. *)
 
-let split t =
-  let child_seed = int64 t in
-  { state = mix child_seed }
+let[@inline always] int64 t =
+  let s = Int64.add (get_state t) golden_gamma in
+  set_state t s;
+  let z = Int64.mul (Int64.logxor s (Int64.shift_right_logical s 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
 
-let float t =
+let split t = of_state (mix (int64 t))
+
+let[@inline always] float t =
+  let s = Int64.add (get_state t) golden_gamma in
+  set_state t s;
+  let z = Int64.mul (Int64.logxor s (Int64.shift_right_logical s 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
   (* 53 high bits give a uniform double in [0,1). *)
-  let bits = Int64.shift_right_logical (int64 t) 11 in
+  let bits = Int64.shift_right_logical z 11 in
   Int64.to_float bits *. (1.0 /. 9007199254740992.0)
 
-let int t bound =
+let[@inline always] int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let s = Int64.add (get_state t) golden_gamma in
+  set_state t s;
+  let z = Int64.mul (Int64.logxor s (Int64.shift_right_logical s 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
   (* Drop to the native int width and clear the sign bit before reducing. *)
-  let v = Int64.to_int (int64 t) land max_int in
+  let v = Int64.to_int z land max_int in
   v mod bound
 
-let bool t p =
+let[@inline always] bool t p =
   if p <= 0.0 then false
   else if p >= 1.0 then true
   else float t < p
 
-let exponential t mean =
+let[@inline always] exponential t mean =
   if mean <= 0.0 then invalid_arg "Rng.exponential: mean must be positive";
   let u = 1.0 -. float t in
   -. mean *. log u
 
-let gaussian t ~mu ~sigma =
+let[@inline always] gaussian t ~mu ~sigma =
   let u1 = 1.0 -. float t in
   let u2 = float t in
   mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
 
-let lognormal_factor t ~sigma = exp (gaussian t ~mu:0.0 ~sigma)
+let[@inline always] lognormal_factor t ~sigma = exp (gaussian t ~mu:0.0 ~sigma)
 
 let zipf t ~n ~s =
   if n <= 0 then invalid_arg "Rng.zipf: n must be positive";

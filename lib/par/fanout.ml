@@ -2,9 +2,15 @@ module Trace = Estima_obs.Trace
 
 (* ------------------------------ jobs knob ------------------------------ *)
 
+(* With ESTIMA_JOBS unset (or blank) the default is the host's available
+   parallelism, not 1 — a fan-out is then clamped further to the amount
+   of submitted work, so small inputs never spawn idle domains.  An
+   explicit setting is honoured verbatim (benchmarks deliberately probe
+   jobs > cores); a malformed or non-positive value still degrades to
+   sequential. *)
 let env_jobs () =
   match Sys.getenv_opt "ESTIMA_JOBS" with
-  | None | Some "" -> 1
+  | None | Some "" -> Domain.recommended_domain_count ()
   | Some s -> (
       match int_of_string_opt (String.trim s) with Some n when n >= 1 -> n | _ -> 1)
 
@@ -29,12 +35,12 @@ let shutdown () =
       shared_pool := None;
       Pool.shutdown p
 
-let pool () =
+let pool ~size =
   match !shared_pool with
-  | Some p when Pool.size p = jobs () -> p
+  | Some p when Pool.size p = size -> p
   | stale ->
       (match stale with Some p -> Pool.shutdown p | None -> ());
-      let p = Pool.create ~jobs:(jobs ()) in
+      let p = Pool.create ~jobs:size in
       shared_pool := Some p;
       if not !at_exit_registered then begin
         at_exit_registered := true;
@@ -92,7 +98,10 @@ let replay ~prefix entries =
 let sequential xs ~f ~consume = Array.iter (fun x -> consume (f x)) xs
 
 let map_consume xs ~f ~consume =
-  if jobs () <= 1 || Pool.in_task () || Array.length xs <= 1 then sequential xs ~f ~consume
+  (* Never more domains than tasks: the effective width is the jobs knob
+     clamped to the submitted work. *)
+  let width = min (jobs ()) (Array.length xs) in
+  if width <= 1 || Pool.in_task () then sequential xs ~f ~consume
   else begin
     let traced = Trace.enabled () in
     let prefix = Trace.span_path () in
@@ -103,7 +112,7 @@ let map_consume xs ~f ~consume =
         ( (match f x with v -> Ok v | exception e -> Error (e, Printexc.get_raw_backtrace ())),
           [] )
     in
-    let results = Pool.map (pool ()) xs ~f:task in
+    let results = Pool.map (pool ~size:width) xs ~f:task in
     Array.iter
       (fun (outcome, tape) ->
         replay ~prefix tape;

@@ -2,9 +2,10 @@
 
     This is the layer the pipeline calls: it owns one process-wide
     {!Pool} sized by the jobs knob ([--jobs] on the executables,
-    [ESTIMA_JOBS] in the environment, 1 otherwise) and guarantees that a
-    parallel run is observationally {e byte-identical} to the sequential
-    one:
+    [ESTIMA_JOBS] in the environment, the host's available parallelism
+    otherwise) clamped per fan-out to the amount of submitted work, and
+    guarantees that a parallel run is observationally {e byte-identical}
+    to the sequential one:
 
     - results are consumed in submission order;
     - each task runs under a private trace tape in its worker domain
@@ -23,7 +24,8 @@
 val jobs : unit -> int
 (** The effective jobs count: the last {!set_jobs} override if any,
     otherwise [ESTIMA_JOBS] (malformed or < 1 values fall back to 1),
-    otherwise 1. *)
+    otherwise [Domain.recommended_domain_count ()].  A fan-out clamps
+    this further to the number of submitted tasks. *)
 
 val set_jobs : int option -> unit
 (** [set_jobs (Some n)] pins the jobs count ([n >= 1], else

@@ -23,86 +23,22 @@ let trace_enabled () =
 
 let truth_seed_offset = 7919
 
-(* The measurement cache is shared across domains (a parallel run_all has
-   several experiments collecting concurrently), so entries are
-   compute-once promises guarded by a mutex: the first requester of a key
-   installs a [Pending] slot and collects outside the lock; concurrent
-   requesters of the same key block on its condition instead of
-   recomputing.  Waiting on a pending entry counts as a hit — the work is
-   shared — which keeps [cache_stats] deterministic: misses = distinct
-   keys, regardless of jobs. *)
-type slot = Pending of Condition.t | Ready of Series.t
+(* Measurements resolve through the shared store (Estima_store): its
+   in-memory tier is the compute-once promise table formerly kept here
+   (shared across domains — a parallel run_all has several experiments
+   collecting concurrently), and its disk tier — enabled by --store or
+   ESTIMA_STORE — persists the series across processes. *)
+let store () = Estima_store.Store.default ()
 
-let cache : (string, slot) Hashtbl.t = Hashtbl.create 64
-
-let cache_mutex = Mutex.create ()
-
-let hits = ref 0
-
-let misses = ref 0
-
-let reset_cache () =
-  Mutex.protect cache_mutex (fun () ->
-      if Hashtbl.fold (fun _ slot acc -> acc || match slot with Pending _ -> true | Ready _ -> false) cache false
-      then invalid_arg "Lab.reset_cache: collection in flight";
-      Hashtbl.reset cache;
-      hits := 0;
-      misses := 0)
-
-let cache_key ~seed ~entry ~machine ~max_threads =
-  Printf.sprintf "%s|%s|%d|%d|%s" machine.Topology.name entry.Suite.spec.Estima_sim.Spec.name
-    max_threads seed
-    (String.concat "," (List.map (fun p -> p.Plugin.name) entry.Suite.plugins))
+let reset_cache () = Estima_store.Store.reset_memory (store ())
 
 let collect_cached ~seed ~entry ~machine ~max_threads =
-  let key = cache_key ~seed ~entry ~machine ~max_threads in
-  let claim () =
-    Mutex.protect cache_mutex (fun () ->
-        let rec wait () =
-          match Hashtbl.find_opt cache key with
-          | Some (Ready series) ->
-              incr hits;
-              Some series
-          | Some (Pending cond) ->
-              Condition.wait cond cache_mutex;
-              wait ()
-          | None ->
-              incr misses;
-              Hashtbl.replace cache key (Pending (Condition.create ()));
-              None
-        in
-        wait ())
-  in
-  match claim () with
-  | Some series -> series
-  | None -> (
-      let outcome =
-        match
-          Collector.collect
-            ~options:
-              { Collector.default_options with Collector.seed; plugins = entry.Suite.plugins; repetitions }
-            ~machine ~spec:entry.Suite.spec
-            ~thread_counts:(Collector.default_thread_counts ~max:max_threads)
-            ()
-        with
-        | series -> Ok series
-        | exception e -> Error (e, Printexc.get_raw_backtrace ())
-      in
-      let publish slot =
-        Mutex.protect cache_mutex (fun () ->
-            let waiters = Hashtbl.find_opt cache key in
-            (match slot with Some s -> Hashtbl.replace cache key s | None -> Hashtbl.remove cache key);
-            match waiters with Some (Pending cond) -> Condition.broadcast cond | _ -> ())
-      in
-      match outcome with
-      | Ok series ->
-          publish (Some (Ready series));
-          series
-      | Error (e, bt) ->
-          (* Drop the pending slot so waiters retry the collection rather
-             than hang. *)
-          publish None;
-          Printexc.raise_with_backtrace e bt)
+  Estima_store.Store.Cached.collect ~store:(store ())
+    ~options:
+      { Collector.default_options with Collector.seed; plugins = entry.Suite.plugins; repetitions }
+    ~machine ~spec:entry.Suite.spec
+    ~thread_counts:(Collector.default_thread_counts ~max:max_threads)
+    ()
 
 let measure ?(seed = 42) ~entry ~machine ~max_threads () = collect_cached ~seed ~entry ~machine ~max_threads
 
@@ -165,4 +101,6 @@ let baseline ~entry ~measure_machine ~measure_max ~target_machine () =
        ~frequency_scale:(Frequency.time_scale ~measured_on:measure_machine ~target:target_machine)
        ())
 
-let cache_stats () = (!hits, !misses)
+let cache_stats () =
+  let s = Estima_store.Store.stats (store ()) in
+  (s.Estima_store.Store.hits, s.Estima_store.Store.misses)

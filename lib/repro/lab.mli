@@ -63,13 +63,16 @@ val baseline :
 (** Time-extrapolation comparator under the same protocol. *)
 
 val cache_stats : unit -> int * int
-(** (hits, misses) of the measurement cache, for diagnostics.  The cache
-    is shared across domains with compute-once promise entries, so the
-    counts do not depend on the jobs setting: misses = distinct keys
-    collected, and a requester that waits on an in-flight collection
-    counts as a hit. *)
+(** (hits, misses) of the shared measurement store
+    ({!Estima_store.Store.stats} of the default store), for diagnostics.
+    The in-memory tier holds compute-once promise entries shared across
+    domains, so the counts do not depend on the jobs setting: misses =
+    distinct keys collected, and a requester that waits on an in-flight
+    collection counts as a hit.  With a disk store attached, entries
+    found on disk count as hits. *)
 
 val reset_cache : unit -> unit
-(** Drop every cached measurement and zero {!cache_stats} — used by the
-    parallel-scaling benchmark to time cold runs back to back.  Raises
-    [Invalid_argument] if a collection is in flight. *)
+(** Drop every in-memory store entry and zero {!cache_stats} — used by
+    the scaling benchmarks to time cold runs back to back.  Disk entries
+    are untouched.  Raises [Invalid_argument] if a collection is in
+    flight. *)

@@ -5,6 +5,7 @@ type request =
       id : Json.t;
       file : string option;
       csv : string option;
+      workload : string option;
       spec_name : string option;
       target_max : int option;
       timeout_ms : int option;
@@ -50,12 +51,13 @@ let parse_request line =
       | Some "predict" ->
           let* file = member_string json "file" in
           let* csv = member_string json "csv" in
+          let* workload = member_string json "workload" in
           let* spec_name = member_string json "spec" in
           let* target_max = member_int json "target_max" in
           let* timeout_ms = member_int json "timeout_ms" in
-          if file = None && csv = None then
-            bad_request id "predict needs \"file\" or \"csv\""
-          else Ok (Predict { id; file; csv; spec_name; target_max; timeout_ms })
+          if file = None && csv = None && workload = None then
+            bad_request id "predict needs \"file\", \"csv\" or \"workload\""
+          else Ok (Predict { id; file; csv; workload; spec_name; target_max; timeout_ms })
       | Some op -> bad_request id (Printf.sprintf "unknown op %S" op))
 
 let predict_response ~id ~summary ~header ~rows ~verdict =

@@ -13,10 +13,14 @@
     v}
 
     [predict] takes the measurements either as a server-side CSV path
-    (["file"]) or inline (["csv"]), plus optional ["spec"] (workload
-    name, defaults to the file basename), ["target_max"] (defaults to
-    the server's target machine core count) and ["timeout_ms"]
-    (overrides the server's default queue deadline for this request).
+    (["file"]), inline (["csv"]), or as a simulated suite workload
+    collected on the server's measurements machine (["workload"], e.g.
+    ["kmeans"] — resolved through the shared measurement store, so with
+    [--store DIR] repeated requests read the persisted series instead of
+    re-simulating), plus optional ["spec"] (workload name, defaults to
+    the file basename), ["target_max"] (defaults to the server's target
+    machine core count) and ["timeout_ms"] (overrides the server's
+    default queue deadline for this request).
 
     Successful predict responses carry exactly the text [estima_cli
     predict] prints, split into its parts:
@@ -45,6 +49,7 @@ type request =
       id : Json.t;
       file : string option;  (** Server-side CSV path. *)
       csv : string option;  (** Inline CSV document (wins over [file] for data). *)
+      workload : string option;  (** Suite workload to collect (wins over neither: [csv]/[file] first). *)
       spec_name : string option;
       target_max : int option;
       timeout_ms : int option;

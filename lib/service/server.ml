@@ -12,6 +12,7 @@ type config = {
   queue_capacity : int;
   cache_capacity : int;
   default_timeout_ms : int option;
+  store_dir : string option;
 }
 
 let default_config ~machine =
@@ -23,6 +24,7 @@ let default_config ~machine =
     queue_capacity = 64;
     cache_capacity = 128;
     default_timeout_ms = None;
+    store_dir = None;
   }
 
 (* The cache stores the rendered response parts, not the prediction: a
@@ -53,6 +55,12 @@ let create ?(clock = Unix.gettimeofday) config =
   (match Config.validate config.base with
   | Ok () -> ()
   | Error diag -> invalid_arg (Diag.render diag));
+  (* Point the process-wide measurement store's disk tier where the
+     operator asked; [None] leaves ESTIMA_STORE (or memory-only) in
+     force.  Workload collections then persist across restarts. *)
+  (match config.store_dir with
+  | None -> ()
+  | Some dir -> Estima_store.Store.set_dir (Estima_store.Store.default ()) (Some dir));
   {
     config;
     clock;
@@ -113,13 +121,39 @@ let cache_key t ~series ~target_max =
             Printf.sprintf "target_max=%d" target_max;
           ]))
 
-let resolve_series t ~(file : string option) ~csv ~spec_name =
+(* A "workload" predict collects the named suite workload on the
+   server's measurements machine under the CLI's collect defaults (seed
+   42, 5 repetitions, the workload's plugins), resolved through the
+   shared measurement store — with a disk tier attached, repeats across
+   restarts read the persisted series instead of re-simulating. *)
+let collect_workload t name =
+  match Estima_workloads.Suite.find name with
+  | None ->
+      Error
+        (Diag.make ~stage:Diag.Serve ~subject:name
+           (Diag.Parse_error
+              {
+                file = "<wire>";
+                line = 0;
+                msg =
+                  Printf.sprintf "unknown workload %S (known: %s)" name
+                    (String.concat ", " (Estima_workloads.Suite.names Estima_workloads.Suite.all));
+              }))
+  | Some entry ->
+      Api.collect_checked ~seed:42 ~repetitions:5 ~plugins:entry.Estima_workloads.Suite.plugins
+        ~machine:t.config.machine ~spec:entry.Estima_workloads.Suite.spec
+        ~max_threads:(Topology.cores t.config.machine) ()
+
+let resolve_series t ~(file : string option) ~csv ~workload ~spec_name =
   match csv with
   | Some csv -> Api.series_of_csv ~file:(Option.value ~default:"<wire>" file) ?spec_name ~machine:t.config.machine csv
   | None -> (
       match file with
       | Some file -> Api.load_series ?spec_name ~machine:t.config.machine file
-      | None -> assert false (* Protocol.parse_request rejects this shape *))
+      | None -> (
+          match workload with
+          | Some name -> collect_workload t name
+          | None -> assert false (* Protocol.parse_request rejects this shape *)))
 
 let render prediction =
   {
@@ -138,14 +172,15 @@ let respond_rendered ~id rendered =
    duplicate payload coalesces onto the in-flight computation and counts
    as a cache hit, so hit/miss counters depend only on the request
    stream, not on how it happened to clump into batches. *)
-let admit t ~admitted ~pending ~id ~file ~csv ~spec_name ~target_max ~timeout_ms:_ ~arrival =
+let admit t ~admitted ~pending ~id ~file ~csv ~workload ~spec_name ~target_max ~timeout_ms:_
+    ~arrival =
   count t "estima_predict_total";
   if admitted >= t.config.queue_capacity then
     shed t ~id ~arrival
       (Diag.Overloaded { pending = admitted; capacity = t.config.queue_capacity })
       "estima_shed_overload_total"
   else
-    match resolve_series t ~file ~csv ~spec_name with
+    match resolve_series t ~file ~csv ~workload ~spec_name with
     | Error diag ->
         count t "estima_errors_total";
         observe_latency t arrival;
@@ -213,14 +248,20 @@ let handle_batch t lines =
             observe_latency t arrival;
             Ready (Protocol.error_response ~id diag)
         | Ok (Protocol.Metrics { id }) ->
-            Ready (Protocol.metrics_response ~id ~dump:(Metrics.render t.registry))
+            (* The server's own counters plus the shared measurement
+               store's (estima_store_*_total) in one dump. *)
+            let dump =
+              Metrics.render t.registry
+              ^ Metrics.render (Estima_store.Store.metrics (Estima_store.Store.default ()))
+            in
+            Ready (Protocol.metrics_response ~id ~dump)
         | Ok (Protocol.Shutdown { id }) ->
             shutdown_seen := true;
             Bye id
-        | Ok (Protocol.Predict { id; file; csv; spec_name; target_max; timeout_ms }) ->
+        | Ok (Protocol.Predict { id; file; csv; workload; spec_name; target_max; timeout_ms }) ->
             let slot =
-              admit t ~admitted:!admitted ~pending ~id ~file ~csv ~spec_name ~target_max
-                ~timeout_ms ~arrival
+              admit t ~admitted:!admitted ~pending ~id ~file ~csv ~workload ~spec_name
+                ~target_max ~timeout_ms ~arrival
             in
             (match slot with
             | Run { id; job } -> (

@@ -54,11 +54,18 @@ type config = {
   default_timeout_ms : int option;
       (** Queue-wait deadline applied when a request names none;
           [None] = requests wait forever. *)
+  store_dir : string option;
+      (** Directory of the shared measurement store's disk tier
+          ({!Estima_store.Store}); [None] leaves the [ESTIMA_STORE]
+          default in force.  Affects ["workload"] predict requests: their
+          simulated series are read from/persisted to the store, so
+          repeated requests across server restarts skip the simulator. *)
 }
 
 val default_config : machine:Estima_machine.Topology.t -> config
 (** [target = None], {!Estima.Config.default} knobs, [jobs = 1],
-    [queue_capacity = 64], [cache_capacity = 128], no default timeout. *)
+    [queue_capacity = 64], [cache_capacity = 128], no default timeout,
+    no store directory override. *)
 
 type t
 

@@ -21,20 +21,36 @@ type result = {
   lock_contended : int;
 }
 
-type phase = Running | Parked of float | Done
+(* Thread status values.  The per-thread clock and barrier-arrival time
+   live in flat float arrays rather than record fields: this record mixes
+   ints and pointers, so a mutable float field would be boxed and every
+   store on the per-op path would allocate. *)
+let st_running = 0
+let st_parked = 1
+let st_done = 2
 
 type thread_state = {
   id : int;
   loc : Topology.location;
   rng : Rng.t;
   led : Ledger.t;
-  mutable clock : float;
   mutable ops_left : int;
   mutable ops_done : int;
   mutable ops_since_barrier : int;
-  mutable phase : phase;
+  mutable status : int;
   smt_shared : bool;  (** An SMT sibling shares this physical core. *)
+  ctrl : Memory.controller;  (** This thread's own chip's memory controller. *)
+  shared_dram : float;  (** DRAM latency from here to the shared data's home. *)
 }
+
+(* Per-run dispatch, specialised from [Spec.sync] once so the per-op path
+   performs a single tag test instead of re-deciding the synchronisation
+   model (and unwrapping options) on every operation. *)
+type dispatch =
+  | D_no_sync
+  | D_transactional of Stm.t
+  | D_locked of { bank : Lock.t; num_locks : int; cs_cycles : float; cs_mem : float; hold : float }
+  | D_lock_free of { cas_cost_cycles : float; p_retry : float }
 
 let branch_penalty_cycles = 15.0
 
@@ -47,9 +63,9 @@ let smt_slowdown = 1.35
 (* Stochastic rounding keeps expected access counts exact while issuing an
    integral number of controller requests. *)
 let sround rng x =
-  let base = Float.to_int (Float.floor x) in
-  let frac = x -. Float.floor x in
-  if Rng.bool rng frac then base + 1 else base
+  let f = Float.floor x in
+  let base = Float.to_int f in
+  if Rng.bool rng (x -. f) then base + 1 else base
 
 let shared_home_socket = 0
 
@@ -98,24 +114,42 @@ let run ?(seed = 1) ~machine ~spec ~threads () =
   let o = spec.Spec.op in
   let ops_per_thread = Spec.ops_for spec ~threads in
   (* barrier_every counts TOTAL operations per phase; each thread's share
-     of a phase shrinks as threads are added. *)
+     of a phase shrinks as threads are added.  [max_int] means "never". *)
   let barrier_interval =
-    Option.map (fun total -> max 1 (total / threads)) o.Spec.barrier_every
+    match o.Spec.barrier_every with None -> max_int | Some total -> max 1 (total / threads)
   in
   let root_rng = Rng.create seed in
-  (* Shared synchronisation structures. *)
-  let lock_bank =
+  (* Shared synchronisation structures, specialised for the per-op path.
+     The critical-section duration of a lock-based op and the retry
+     probability of a lock-free op are run constants: fold them here. *)
+  let dispatch =
     match o.Spec.sync with
-    | Spec.Locked { kind; num_locks; _ } ->
-        Some (Lock.create kind ~count:num_locks ~line_transfer_cycles:line_transfer)
-    | _ -> None
-  in
-  let stm =
-    match o.Spec.sync with
+    | Spec.No_sync -> D_no_sync
     | Spec.Transactional { reads; writes; key_space; abort_penalty_cycles } ->
-        Some (Stm.create ~reads ~writes ~key_space ~abort_penalty_cycles ~line_transfer_cycles:line_transfer)
-    | _ -> None
+        D_transactional
+          (Stm.create ~reads ~writes ~key_space ~abort_penalty_cycles
+             ~line_transfer_cycles:line_transfer)
+    | Spec.Locked { kind; num_locks; cs_cycles; cs_mem_accesses } ->
+        (* Critical-section duration: its compute plus its memory accesses
+           at uncontended cost (they mostly hit the shared working set). *)
+        let cs_mem = float_of_int cs_mem_accesses *. (llc_latency *. 0.5) in
+        D_locked
+          {
+            bank = Lock.create kind ~count:num_locks ~line_transfer_cycles:line_transfer;
+            num_locks;
+            cs_cycles;
+            cs_mem;
+            hold = cs_cycles +. cs_mem;
+          }
+    | Spec.Lock_free { cas_cost_cycles; retry_contention } ->
+        (* CAS retry loop: failures are hardware-visible coherence traffic. *)
+        D_lock_free
+          {
+            cas_cost_cycles;
+            p_retry = Float.min 0.9 (retry_contention *. float_of_int (threads - 1));
+          }
   in
+  let lock_bank = match dispatch with D_locked { bank; _ } -> Some bank | _ -> None in
   let core_key l = (l.Topology.socket, l.Topology.chip, l.Topology.core) in
   let core_use = Hashtbl.create 64 in
   Array.iter
@@ -123,115 +157,142 @@ let run ?(seed = 1) ~machine ~spec ~threads () =
       let k = core_key l in
       Hashtbl.replace core_use k (1 + Option.value ~default:0 (Hashtbl.find_opt core_use k)))
     placement;
+  let private_dram = Memory.dram_latency memory ~hops:0 in
+  let shared_ctrl = Memory.controller memory ~socket:shared_home_socket ~chip:0 in
   let states =
     Array.init threads (fun i ->
+        let loc = placement.(i) in
+        let home = { loc with Topology.socket = shared_home_socket; chip = 0 } in
         {
           id = i;
-          loc = placement.(i);
+          loc;
           rng = Rng.split root_rng;
           led = Ledger.create ();
-          clock = 0.0;
           ops_left = ops_per_thread;
           ops_done = 0;
           ops_since_barrier = 0;
-          phase = Running;
-          smt_shared = Hashtbl.find core_use (core_key placement.(i)) > 1;
+          status = st_running;
+          smt_shared = Hashtbl.find core_use (core_key loc) > 1;
+          ctrl = Memory.controller memory ~socket:loc.Topology.socket ~chip:loc.Topology.chip;
+          shared_dram = Memory.dram_latency memory ~hops:(Topology.numa_hops loc home);
         })
   in
+  let clocks = Array.make threads 0.0 in
+  let parked_at = Array.make threads 0.0 in
   let coherence_p = Cache.coherence_probability ~spec ~active_threads:threads in
+
+  (* Expected per-op event counts are run constants; precompute them so
+     the hot path only draws the stochastic roundings. *)
+  let accesses = o.Spec.mem_reads + o.Spec.mem_writes in
+  let fa = float_of_int accesses in
+  let shared_acc = fa *. o.Spec.shared_fraction in
+  let private_acc = fa -. shared_acc in
+  let exp_llc_hits = fa *. plan.Cache.p_miss_private_to_llc in
+  let exp_private_fills = private_acc *. plan.Cache.p_miss_private_data_memory in
+  let exp_shared_fills = shared_acc *. plan.Cache.p_miss_shared_data_memory in
+  let exp_transfers = shared_acc *. coherence_p in
+  let useful_mu = o.Spec.useful_cycles in
+  let useful_sigma = o.Spec.useful_cycles *. o.Spec.useful_cv in
+  let dependency_factor = o.Spec.dependency_factor in
+  let fp_fraction = o.Spec.fp_fraction in
+  let branch_mpki = o.Spec.branch_mpki in
+  let frontend_cycles = o.Spec.frontend_cycles in
+  (* Reusable out-parameters: one grant / transaction result per run, not
+     one per operation. *)
+  let grant = Lock.make_grant () in
+  let stm_res = Stm.make_result () in
+  (* Elapsed-cycles accumulator for [memory_phase].  A float array cell
+     rather than a [ref]: mutable variables are not unboxed in classic
+     mode, so a float ref would allocate a box on every update. *)
+  let mp_elapsed = [| 0.0 |] in
 
   (* --- per-op building blocks ------------------------------------- *)
 
   (* Memory accesses: returns elapsed cycles; charges stall causes. *)
-  let memory_phase st ~reads ~writes =
-    let elapsed = ref 0.0 in
-    let accesses = reads + writes in
+  let memory_phase st =
+    Array.unsafe_set mp_elapsed 0 0.0;
     if accesses > 0 then begin
-      let fa = float_of_int accesses in
-      let shared_acc = fa *. o.Spec.shared_fraction in
-      let private_acc = fa -. shared_acc in
       (* Private-cache misses that hit in the LLC. *)
-      let llc_hits = sround st.rng (fa *. plan.Cache.p_miss_private_to_llc) in
+      let llc_hits = sround st.rng exp_llc_hits in
       if llc_hits > 0 then begin
         let cost = float_of_int llc_hits *. llc_latency in
         Ledger.add st.led Stall.Miss_private cost;
-        elapsed := !elapsed +. cost
+        Array.unsafe_set mp_elapsed 0 (Array.unsafe_get mp_elapsed 0 +. cost)
       end;
       (* DRAM fills for private data: homed on the thread's own socket. *)
-      let private_fills = sround st.rng (private_acc *. plan.Cache.p_miss_private_data_memory) in
+      let private_fills = sround st.rng exp_private_fills in
       for _ = 1 to private_fills do
-        let queue, total =
-          Memory.request memory ~socket:st.loc.Topology.socket ~chip:st.loc.Topology.chip
-            ~now:(st.clock +. !elapsed) ~hops:0
+        let total =
+          Memory.request_on st.ctrl
+            ~now:(clocks.(st.id) +. Array.unsafe_get mp_elapsed 0)
+            ~dram:private_dram
         in
+        let queue = Memory.queue_delay_on st.ctrl in
         Ledger.add st.led Stall.Memory_queue queue;
         Ledger.add st.led Stall.Miss_memory (total -. queue);
-        elapsed := !elapsed +. total
+        Array.unsafe_set mp_elapsed 0 (Array.unsafe_get mp_elapsed 0 +. total)
       done;
       (* DRAM fills for shared data: homed on socket 0 (first touch). *)
-      let shared_fills = sround st.rng (shared_acc *. plan.Cache.p_miss_shared_data_memory) in
+      let shared_fills = sround st.rng exp_shared_fills in
       for _ = 1 to shared_fills do
-        let home = { st.loc with Topology.socket = shared_home_socket; chip = 0 } in
-        let hops = Topology.numa_hops st.loc home in
-        let queue, total =
-          Memory.request memory ~socket:shared_home_socket ~chip:0 ~now:(st.clock +. !elapsed) ~hops
+        let total =
+          Memory.request_on shared_ctrl
+            ~now:(clocks.(st.id) +. Array.unsafe_get mp_elapsed 0)
+            ~dram:st.shared_dram
         in
+        let queue = Memory.queue_delay_on shared_ctrl in
         Ledger.add st.led Stall.Memory_queue queue;
         Ledger.add st.led Stall.Miss_memory (total -. queue);
-        elapsed := !elapsed +. total
+        Array.unsafe_set mp_elapsed 0 (Array.unsafe_get mp_elapsed 0 +. total)
       done;
       (* Coherence transfers on shared lines. *)
-      let transfers = sround st.rng (shared_acc *. coherence_p) in
+      let transfers = sround st.rng exp_transfers in
       if transfers > 0 then begin
         let cost = float_of_int transfers *. line_transfer in
         Ledger.add st.led Stall.Coherence cost;
-        elapsed := !elapsed +. cost
+        Array.unsafe_set mp_elapsed 0 (Array.unsafe_get mp_elapsed 0 +. cost)
       end
     end;
-    !elapsed
+    Array.unsafe_get mp_elapsed 0
   in
 
   (* Compute phase: useful work plus the pipeline stalls tied to it. *)
   let compute_phase st =
-    let base = Float.max 1.0 (Rng.gaussian st.rng ~mu:o.Spec.useful_cycles ~sigma:(o.Spec.useful_cycles *. o.Spec.useful_cv)) in
+    let g = Rng.gaussian st.rng ~mu:useful_mu ~sigma:useful_sigma in
+    let base = if g > 1.0 then g else 1.0 in
     let useful = if st.smt_shared then base *. smt_slowdown else base in
     Ledger.add_useful st.led useful;
-    let dep = useful *. o.Spec.dependency_factor in
+    let dep = useful *. dependency_factor in
     Ledger.add st.led Stall.Dependency dep;
-    let fp = useful *. o.Spec.fp_fraction *. 0.35 in
+    let fp = useful *. fp_fraction *. 0.35 in
     Ledger.add st.led Stall.Fp_pressure fp;
-    let branch = o.Spec.branch_mpki *. useful /. 1000.0 *. branch_penalty_cycles in
+    let branch = branch_mpki *. useful /. 1000.0 *. branch_penalty_cycles in
     Ledger.add st.led Stall.Branch_recovery branch;
-    Ledger.add st.led Stall.Frontend o.Spec.frontend_cycles;
-    useful +. dep +. fp +. branch +. o.Spec.frontend_cycles
+    Ledger.add st.led Stall.Frontend frontend_cycles;
+    useful +. dep +. fp +. branch +. frontend_cycles
   in
 
   (* One operation of thread [st]; advances its clock. *)
   let execute_op st =
-    match o.Spec.sync with
-    | Spec.Transactional _ ->
+    match dispatch with
+    | D_transactional stm ->
         (* The whole op body runs inside a transaction; aborted attempts
            re-execute it.  Hardware counters see aborted work as ordinary
            execution; SwissTM statistics expose it as software stall. *)
-        let body = compute_phase st +. memory_phase st ~reads:o.Spec.mem_reads ~writes:o.Spec.mem_writes in
-        let stm = Option.get stm in
-        let r = Stm.run_transaction stm ~rng:st.rng ~now:st.clock ~duration:body ~threads_active:threads in
-        if r.Stm.abort_cycles > 0.0 then begin
-          Ledger.add st.led Stall.Stm_abort r.Stm.abort_cycles;
-          Ledger.add st.led Stall.Coherence r.Stm.conflict_coherence
+        let body = compute_phase st +. memory_phase st in
+        Stm.run_transaction stm ~rng:st.rng ~now:clocks.(st.id) ~duration:body
+          ~threads_active:threads ~into:stm_res;
+        if stm_res.Stm.abort_cycles > 0.0 then begin
+          Ledger.add st.led Stall.Stm_abort stm_res.Stm.abort_cycles;
+          Ledger.add st.led Stall.Coherence stm_res.Stm.conflict_coherence
         end;
-        st.clock <- r.Stm.commit_at +. r.Stm.conflict_coherence
-    | Spec.Locked { num_locks; cs_cycles; cs_mem_accesses; _ } ->
+        clocks.(st.id) <- stm_res.Stm.commit_at +. stm_res.Stm.conflict_coherence
+    | D_locked { bank; num_locks; cs_cycles; cs_mem; hold } ->
         (* Body outside the critical section, then the protected update. *)
-        let body = compute_phase st +. memory_phase st ~reads:o.Spec.mem_reads ~writes:o.Spec.mem_writes in
-        st.clock <- st.clock +. body;
-        let bank = Option.get lock_bank in
-        (* Critical-section duration: its compute plus its memory accesses
-           at uncontended cost (they mostly hit the shared working set). *)
-        let cs_mem = float_of_int cs_mem_accesses *. (llc_latency *. 0.5) in
-        let hold = cs_cycles +. cs_mem in
+        let body = compute_phase st +. memory_phase st in
+        clocks.(st.id) <- clocks.(st.id) +. body;
         let index = Rng.int st.rng num_locks in
-        let grant = Lock.acquire bank ~index ~now:st.clock ~hold_for:hold in
+        Lock.acquire bank ~into:grant ~index ~now:clocks.(st.id) ~hold_for:hold;
         if grant.Lock.spin_cycles > 0.0 then Ledger.add st.led Stall.Lock_spin grant.Lock.spin_cycles;
         if grant.Lock.handoff_coherence > 0.0 then
           Ledger.add st.led Stall.Coherence grant.Lock.handoff_coherence;
@@ -239,12 +300,10 @@ let run ?(seed = 1) ~machine ~spec ~threads () =
           Ledger.add st.led Stall.Miss_private grant.Lock.cold_restart_cycles;
         Ledger.add_useful st.led cs_cycles;
         Ledger.add st.led Stall.Miss_private cs_mem;
-        st.clock <- grant.Lock.released_at
-    | Spec.Lock_free { cas_cost_cycles; retry_contention } ->
-        let body = compute_phase st +. memory_phase st ~reads:o.Spec.mem_reads ~writes:o.Spec.mem_writes in
-        st.clock <- st.clock +. body;
-        (* CAS retry loop: failures are hardware-visible coherence traffic. *)
-        let p_retry = Float.min 0.9 (retry_contention *. float_of_int (threads - 1)) in
+        clocks.(st.id) <- grant.Lock.released_at
+    | D_lock_free { cas_cost_cycles; p_retry } ->
+        let body = compute_phase st +. memory_phase st in
+        clocks.(st.id) <- clocks.(st.id) +. body;
         let attempts = ref 1 in
         while !attempts < 20 && Rng.bool st.rng p_retry do
           incr attempts
@@ -252,17 +311,90 @@ let run ?(seed = 1) ~machine ~spec ~threads () =
         let failed = float_of_int (!attempts - 1) in
         if failed > 0.0 then Ledger.add st.led Stall.Coherence (failed *. (cas_cost_cycles +. line_transfer));
         Ledger.add_useful st.led cas_cost_cycles;
-        st.clock <- st.clock +. (float_of_int !attempts *. cas_cost_cycles) +. (failed *. line_transfer)
-    | Spec.No_sync ->
-        let body = compute_phase st +. memory_phase st ~reads:o.Spec.mem_reads ~writes:o.Spec.mem_writes in
-        st.clock <- st.clock +. body
+        clocks.(st.id) <- clocks.(st.id) +. (float_of_int !attempts *. cas_cost_cycles) +. (failed *. line_transfer)
+    | D_no_sync ->
+        let body = compute_phase st +. memory_phase st in
+        clocks.(st.id) <- clocks.(st.id) +. body
   in
+
+  (* --- runnable-thread scheduling ---------------------------------- *)
+
+  (* The engine always advances the lagging runnable thread, ties broken
+     by the lowest id — the selection the old O(threads) scan made.  An
+     indexed binary min-heap on the strict total order (clock, id) keeps
+     that selection exact at O(log threads) per operation, which is what
+     lets 48-thread runs cost the same per op as 2-thread runs. *)
+  (* Indices into [heap]/[hpos]/[clocks] are thread ids and heap slots,
+     both invariantly below [threads]; the unchecked accessors keep bounds
+     checks off the per-op path. *)
+  let heap = Array.make threads 0 in
+  let hpos = Array.make threads (-1) in
+  let hsize = ref 0 in
+  let hless a b =
+    let ca = Array.unsafe_get clocks a and cb = Array.unsafe_get clocks b in
+    ca < cb || (ca = cb && a < b)
+  in
+  let hswap i j =
+    let a = Array.unsafe_get heap i and b = Array.unsafe_get heap j in
+    Array.unsafe_set heap i b;
+    Array.unsafe_set heap j a;
+    Array.unsafe_set hpos b i;
+    Array.unsafe_set hpos a j
+  in
+  let rec sift_up i =
+    if i > 0 then begin
+      let p = (i - 1) / 2 in
+      if hless (Array.unsafe_get heap i) (Array.unsafe_get heap p) then begin
+        hswap i p;
+        sift_up p
+      end
+    end
+  in
+  let rec sift_down i =
+    let l = (2 * i) + 1 in
+    if l < !hsize then begin
+      let m =
+        if l + 1 < !hsize && hless (Array.unsafe_get heap (l + 1)) (Array.unsafe_get heap l) then
+          l + 1
+        else l
+      in
+      if hless (Array.unsafe_get heap m) (Array.unsafe_get heap i) then begin
+        hswap i m;
+        sift_down m
+      end
+    end
+  in
+  let hpush id =
+    let i = !hsize in
+    Array.unsafe_set heap i id;
+    Array.unsafe_set hpos id i;
+    incr hsize;
+    sift_up i
+  in
+  let hremove_root () =
+    Array.unsafe_set hpos (Array.unsafe_get heap 0) (-1);
+    decr hsize;
+    if !hsize > 0 then begin
+      let tail = Array.unsafe_get heap !hsize in
+      Array.unsafe_set heap 0 tail;
+      Array.unsafe_set hpos tail 0;
+      sift_down 0
+    end
+  in
+  for i = 0 to threads - 1 do
+    hpush i
+  done;
 
   (* Barrier release: all parked threads resume together. *)
   let release_barrier () =
-    let parked = Array.to_list states |> List.filter (fun st -> match st.phase with Parked _ -> true | _ -> false) in
-    let arrival st = match st.phase with Parked t -> t | _ -> assert false in
-    let latest = List.fold_left (fun acc st -> Float.max acc (arrival st)) 0.0 parked in
+    let latest = ref 0.0 and parked = ref 0 in
+    Array.iter
+      (fun st ->
+        if st.status = st_parked then begin
+          incr parked;
+          latest := Float.max !latest parked_at.(st.id)
+        end)
+      states;
     (* Centralised barrier: the counter line bounces across participants.
        A mutex-based barrier additionally pays a serialised wake-up chain
        (the PARSEC trylock barrier of the paper's Section 4.6). *)
@@ -271,65 +403,60 @@ let run ?(seed = 1) ~machine ~spec ~threads () =
       | Spec.Spinlock -> line_transfer
       | Spec.Mutex -> line_transfer +. (0.5 *. Lock.mutex_wake_penalty)
     in
-    let overhead = barrier_base_cycles +. (per_thread_cost *. float_of_int (List.length parked)) in
-    let release = latest +. overhead in
-    List.iter
+    let overhead = barrier_base_cycles +. (per_thread_cost *. float_of_int !parked) in
+    let release = !latest +. overhead in
+    Array.iter
       (fun st ->
-        let wait = release -. arrival st in
-        Ledger.add st.led Stall.Barrier_wait wait;
-        Ledger.add st.led Stall.Coherence (line_transfer *. 0.5);
-        st.clock <- release;
-        st.phase <- Running)
-      parked
+        if st.status = st_parked then begin
+          let wait = release -. parked_at.(st.id) in
+          Ledger.add st.led Stall.Barrier_wait wait;
+          Ledger.add st.led Stall.Coherence (line_transfer *. 0.5);
+          clocks.(st.id) <- release;
+          st.status <- st_running;
+          hpush st.id
+        end)
+      states
   in
 
   (* --- main loop ---------------------------------------------------- *)
   let finished = ref 0 in
   while !finished < threads do
-    (* Advance the lagging runnable thread. *)
-    let next = ref None in
-    Array.iter
-      (fun st ->
-        match st.phase with
-        | Running -> (
-            match !next with
-            | Some best when best.clock <= st.clock -> ()
-            | _ -> next := Some st)
-        | Parked _ | Done -> ())
-      states;
-    match !next with
-    | None ->
-        (* Everyone alive is parked at the barrier. *)
-        release_barrier ()
-    | Some st ->
-        execute_op st;
-        st.ops_left <- st.ops_left - 1;
-        st.ops_done <- st.ops_done + 1;
-        st.ops_since_barrier <- st.ops_since_barrier + 1;
-        if st.ops_left = 0 then begin
-          st.phase <- Done;
-          incr finished
-        end
-        else begin
-          match barrier_interval with
-          | Some k when st.ops_since_barrier >= k ->
-              st.ops_since_barrier <- 0;
-              st.phase <- Parked st.clock;
-              (* If every running thread is now parked the next loop
-                 iteration releases them. *)
-              let runnable = Array.exists (fun s -> s.phase = Running) states in
-              if not runnable then release_barrier ()
-          | _ -> ()
-        end
+    if !hsize = 0 then
+      (* Everyone alive is parked at the barrier. *)
+      release_barrier ()
+    else begin
+      (* The heap root is the lagging runnable thread. *)
+      let st = states.(heap.(0)) in
+      execute_op st;
+      st.ops_left <- st.ops_left - 1;
+      st.ops_done <- st.ops_done + 1;
+      st.ops_since_barrier <- st.ops_since_barrier + 1;
+      if st.ops_left = 0 then begin
+        st.status <- st_done;
+        incr finished;
+        hremove_root ()
+      end
+      else if st.ops_since_barrier >= barrier_interval then begin
+        st.ops_since_barrier <- 0;
+        st.status <- st_parked;
+        parked_at.(st.id) <- clocks.(st.id);
+        (* Once the last runnable thread parks the next loop iteration
+           releases the barrier. *)
+        hremove_root ()
+      end
+      else
+        (* Its clock advanced: restore the heap order. *)
+        sift_down 0
+    end
   done;
   let per_thread =
     Array.map
       (fun st ->
-        { ledger = st.led; finish_cycles = st.clock; ops_executed = st.ops_done; location = st.loc })
+        { ledger = st.led; finish_cycles = clocks.(st.id); ops_executed = st.ops_done; location = st.loc })
       states
   in
   let merged = Ledger.merge (Array.to_list (Array.map (fun st -> st.led) states)) in
-  let makespan = Array.fold_left (fun acc st -> Float.max acc st.clock) 0.0 states in
+  let makespan = Array.fold_left Float.max 0.0 clocks in
   {
     machine;
     spec_name = spec.Spec.name;

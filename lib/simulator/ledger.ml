@@ -1,30 +1,39 @@
-type t = { stalls : float array; mutable useful_cycles : float }
+(* Useful cycles live in an extra slot of the same flat float array as the
+   stall causes: a [mutable useful_cycles : float] field next to the array
+   pointer would be boxed, and [add_useful] runs once per simulated
+   operation. *)
+type t = { stalls : float array }
 
-let create () = { stalls = Array.make Stall.count 0.0; useful_cycles = 0.0 }
+let useful_slot = Stall.count
 
-let add t cause amount =
+let create () = { stalls = Array.make (Stall.count + 1) 0.0 }
+
+let[@inline always] add t cause amount =
   if amount < 0.0 then invalid_arg "Ledger.add: negative amount";
   let i = Stall.index cause in
   t.stalls.(i) <- t.stalls.(i) +. amount
 
 let get t cause = t.stalls.(Stall.index cause)
 
-let add_useful t amount =
+let[@inline always] add_useful t amount =
   if amount < 0.0 then invalid_arg "Ledger.add_useful: negative amount";
-  t.useful_cycles <- t.useful_cycles +. amount
+  t.stalls.(useful_slot) <- t.stalls.(useful_slot) +. amount
 
-let useful t = t.useful_cycles
+let useful t = t.stalls.(useful_slot)
 
 let merge ledgers =
   let out = create () in
   List.iter
-    (fun l ->
-      Array.iteri (fun i v -> out.stalls.(i) <- out.stalls.(i) +. v) l.stalls;
-      out.useful_cycles <- out.useful_cycles +. l.useful_cycles)
+    (fun l -> Array.iteri (fun i v -> out.stalls.(i) <- out.stalls.(i) +. v) l.stalls)
     ledgers;
   out
 
-let total_stalls t = Array.fold_left ( +. ) 0.0 t.stalls
+let total_stalls t =
+  let acc = ref 0.0 in
+  for i = 0 to Stall.count - 1 do
+    acc := !acc +. t.stalls.(i)
+  done;
+  !acc
 
 let total_hardware_backend t =
   List.fold_left

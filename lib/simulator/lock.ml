@@ -5,13 +5,19 @@ type t = {
   mutable contended : int;
 }
 
+(* All fields are floats so the record is flat and field stores do not
+   allocate: the engine reuses one scratch grant across every acquisition
+   of a run. *)
 type grant = {
-  acquired_at : float;
-  released_at : float;
-  spin_cycles : float;
-  handoff_coherence : float;
-  cold_restart_cycles : float;
+  mutable acquired_at : float;
+  mutable released_at : float;
+  mutable spin_cycles : float;
+  mutable handoff_coherence : float;
+  mutable cold_restart_cycles : float;
 }
+
+let make_grant () =
+  { acquired_at = 0.0; released_at = 0.0; spin_cycles = 0.0; handoff_coherence = 0.0; cold_restart_cycles = 0.0 }
 
 let mutex_spin_threshold = 600.0
 
@@ -21,7 +27,7 @@ let create kind ~count ~line_transfer_cycles =
   if count <= 0 then invalid_arg "Lock.create: need at least one lock";
   { kind; free_at = Array.make count 0.0; line_transfer_cycles; contended = 0 }
 
-let acquire t ~index ~now ~hold_for =
+let acquire t ~into:g ~index ~now ~hold_for =
   if hold_for < 0.0 then invalid_arg "Lock.acquire: negative hold time";
   let i = index mod Array.length t.free_at in
   let i = if i < 0 then i + Array.length t.free_at else i in
@@ -30,7 +36,11 @@ let acquire t ~index ~now ~hold_for =
     (* Uncontended: immediate grant, no handoff transfer. *)
     let released_at = now +. hold_for in
     t.free_at.(i) <- released_at;
-    { acquired_at = now; released_at; spin_cycles = 0.0; handoff_coherence = 0.0; cold_restart_cycles = 0.0 }
+    g.acquired_at <- now;
+    g.released_at <- released_at;
+    g.spin_cycles <- 0.0;
+    g.handoff_coherence <- 0.0;
+    g.cold_restart_cycles <- 0.0
   end
   else begin
     t.contended <- t.contended + 1;
@@ -42,23 +52,20 @@ let acquire t ~index ~now ~hold_for =
        the protected data and whatever the scheduler evicted — roughly
        half the wake-up penalty shows up in hardware counters as backend
        (cache-refill) stalls. *)
-    let spin, extra_delay, cold_restart =
-      match t.kind with
-      | Spec.Spinlock -> (wait, 0.0, 0.0)
-      | Spec.Mutex ->
-          if wait <= mutex_spin_threshold then (wait, 0.0, 0.0)
-          else (wait, mutex_wake_penalty, 0.5 *. mutex_wake_penalty)
+    let blocked =
+      match t.kind with Spec.Spinlock -> false | Spec.Mutex -> wait > mutex_spin_threshold
     in
+    let spin = wait in
+    let extra_delay = if blocked then mutex_wake_penalty else 0.0 in
+    let cold_restart = if blocked then 0.5 *. mutex_wake_penalty else 0.0 in
     let acquired_at = free +. extra_delay +. t.line_transfer_cycles in
     let released_at = acquired_at +. hold_for in
     t.free_at.(i) <- released_at;
-    {
-      acquired_at;
-      released_at;
-      spin_cycles = spin;
-      handoff_coherence = t.line_transfer_cycles;
-      cold_restart_cycles = cold_restart;
-    }
+    g.acquired_at <- acquired_at;
+    g.released_at <- released_at;
+    g.spin_cycles <- spin;
+    g.handoff_coherence <- t.line_transfer_cycles;
+    g.cold_restart_cycles <- cold_restart
   end
 
 let reset t =

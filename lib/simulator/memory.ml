@@ -10,12 +10,21 @@ open Estima_machine
    lengthens fills, which lengthens operations, which lowers the offered
    load back towards the controller's capacity. *)
 
+(* All fields are floats so the record gets OCaml's flat float-record
+   representation: the simulator's hot loop mutates these on every DRAM
+   fill, and a mixed int/float record would box (allocate) each store.
+   The fill counters hold exact integral values well below 2^53, and the
+   per-controller service/port capacities are resolved from the machine's
+   integer timing parameters once at creation. *)
 type controller = {
   mutable high_water : float;  (** Latest request time seen (monotone). *)
   mutable window_start : float;
-  mutable window_fills : int;
+  mutable window_fills : float;
   mutable rate : float;  (** Fills per cycle over the last full window. *)
-  mutable fills : int;
+  mutable fills : float;
+  mutable last_queue : float;  (** Queueing component of the last request. *)
+  service : float;
+  ports : float;
 }
 
 type t = { machine : Topology.t; controllers : controller array }
@@ -34,41 +43,66 @@ let controller_index t ~socket ~chip =
   (socket * chips) + chip
 
 let create machine =
+  let timing = machine.Topology.timing in
+  let service = float_of_int timing.Topology.memory_service_cycles in
+  let ports = float_of_int timing.Topology.memory_ports_per_controller in
   {
     machine;
     controllers =
       Array.init
         (machine.Topology.sockets * machine.Topology.chips_per_socket)
-        (fun _ -> { high_water = 0.0; window_start = 0.0; window_fills = 0; rate = 0.0; fills = 0 });
+        (fun _ ->
+          {
+            high_water = 0.0;
+            window_start = 0.0;
+            window_fills = 0.0;
+            rate = 0.0;
+            fills = 0.0;
+            last_queue = 0.0;
+            service;
+            ports;
+          });
   }
 
-let request t ~socket ~chip ~now ~hops =
-  let c = t.controllers.(controller_index t ~socket ~chip) in
-  let timing = t.machine.Topology.timing in
-  let service = float_of_int timing.Topology.memory_service_cycles in
-  let ports = float_of_int timing.Topology.memory_ports_per_controller in
+let controller t ~socket ~chip = t.controllers.(controller_index t ~socket ~chip)
+
+let[@inline always] dram_latency t ~hops = float_of_int (Topology.memory_latency t.machine ~hops)
+
+(* The engine's per-fill path: the controller is pre-resolved and the DRAM
+   latency (a function of the requester's NUMA distance only) precomputed,
+   so a fill is pure float arithmetic on a flat record. *)
+let[@inline always] request_on c ~now ~dram =
   c.high_water <- Float.max c.high_water now;
   let elapsed = c.high_water -. c.window_start in
   if elapsed >= window_cycles then begin
-    c.rate <- float_of_int c.window_fills /. elapsed;
+    c.rate <- c.window_fills /. elapsed;
     c.window_start <- c.high_water;
-    c.window_fills <- 0
+    c.window_fills <- 0.0
   end;
-  c.window_fills <- c.window_fills + 1;
-  c.fills <- c.fills + 1;
-  let rho = Float.min rho_cap (c.rate *. service /. ports) in
-  let queue_delay = service *. rho *. rho /. (ports *. (1.0 -. rho)) in
-  let dram = float_of_int (Topology.memory_latency t.machine ~hops) in
-  (queue_delay, queue_delay +. dram)
+  c.window_fills <- c.window_fills +. 1.0;
+  c.fills <- c.fills +. 1.0;
+  let rho = Float.min rho_cap (c.rate *. c.service /. c.ports) in
+  let queue_delay = c.service *. rho *. rho /. (c.ports *. (1.0 -. rho)) in
+  c.last_queue <- queue_delay;
+  queue_delay +. dram
+
+let[@inline always] queue_delay_on c = c.last_queue
+
+let request t ~socket ~chip ~now ~hops =
+  request_on (controller t ~socket ~chip) ~now ~dram:(dram_latency t ~hops)
+
+let last_queue_delay t ~socket ~chip = (controller t ~socket ~chip).last_queue
 
 let reset t =
   Array.iter
     (fun c ->
       c.high_water <- 0.0;
       c.window_start <- 0.0;
-      c.window_fills <- 0;
+      c.window_fills <- 0.0;
       c.rate <- 0.0;
-      c.fills <- 0)
+      c.fills <- 0.0;
+      c.last_queue <- 0.0)
     t.controllers
 
-let total_fills t ~socket ~chip = t.controllers.(controller_index t ~socket ~chip).fills
+let total_fills t ~socket ~chip =
+  int_of_float t.controllers.(controller_index t ~socket ~chip).fills

@@ -14,16 +14,41 @@
 
 type t
 
+type controller
+(** A pre-resolved (socket, chip) controller handle.  The simulator's
+    per-fill path resolves its controllers once per run and then issues
+    fills through {!request_on}, which is pure float arithmetic. *)
+
 val create : Estima_machine.Topology.t -> t
 (** One controller per (socket, chip) of the machine. *)
 
-val request : t -> socket:int -> chip:int -> now:float -> hops:int -> float * float
-(** [request t ~socket ~chip ~now ~hops] issues a line fill to the given
-    chip's controller at time [now] from a requester [hops] NUMA hops
-    away.  Returns [(queue_delay, total_latency)]: the cycles charged to
-    controller queueing, and the full cycles until the fill completes
-    (queueing + DRAM latency including the NUMA penalty).  Raises
+val controller : t -> socket:int -> chip:int -> controller
+(** The controller serving the given chip.  Raises [Invalid_argument] for
+    an unknown (socket, chip). *)
+
+val dram_latency : t -> hops:int -> float
+(** DRAM latency in cycles for a requester [hops] NUMA hops from the
+    controller, NUMA penalty included — precomputable because it depends
+    only on the distance. *)
+
+val request_on : controller -> now:float -> dram:float -> float
+(** [request_on c ~now ~dram] issues a line fill at time [now] with
+    precomputed {!dram_latency} [dram].  Returns the full cycles until the
+    fill completes (queueing + DRAM); the queueing component alone is
+    readable through {!queue_delay_on} until the controller's next
+    request. *)
+
+val queue_delay_on : controller -> float
+(** Cycles charged to controller queueing by the most recent {!request_on}
+    on this controller; 0.0 before the first request or after {!reset}. *)
+
+val request : t -> socket:int -> chip:int -> now:float -> hops:int -> float
+(** [request t ~socket ~chip ~now ~hops] — convenience composition of
+    {!controller}, {!dram_latency} and {!request_on}.  Raises
     [Invalid_argument] for an unknown controller. *)
+
+val last_queue_delay : t -> socket:int -> chip:int -> float
+(** {!queue_delay_on} by coordinates. *)
 
 val reset : t -> unit
 

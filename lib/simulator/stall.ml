@@ -45,7 +45,7 @@ let is_frontend = function Frontend -> true | _ -> false
 
 let is_hardware_backend c = not (is_software c) && not (is_frontend c)
 
-let index = function
+let[@inline always] index = function
   | Miss_private -> 0
   | Miss_memory -> 1
   | Memory_queue -> 2

@@ -14,12 +14,19 @@
 
 type t
 
+(** A reusable out-parameter for {!run_transaction}: all-float and mutable
+    (the abort count holds small integral values), so the engine fills the
+    same scratch record on every transaction instead of allocating one per
+    commit. *)
 type attempt_result = {
-  commit_at : float;  (** When the transaction finally commits. *)
-  aborted_attempts : int;
-  abort_cycles : float;  (** Cycles burnt in aborted attempts + backoff. *)
-  conflict_coherence : float;  (** Extra line transfers caused by retries. *)
+  mutable commit_at : float;  (** When the transaction finally commits. *)
+  mutable aborted_attempts : float;
+  mutable abort_cycles : float;  (** Cycles burnt in aborted attempts + backoff. *)
+  mutable conflict_coherence : float;  (** Extra line transfers caused by retries. *)
 }
+
+val make_result : unit -> attempt_result
+(** A zeroed scratch result. *)
 
 val create :
   reads:int ->
@@ -30,10 +37,17 @@ val create :
   t
 
 val run_transaction :
-  t -> rng:Estima_numerics.Rng.t -> now:float -> duration:float -> threads_active:int -> attempt_result
+  t ->
+  rng:Estima_numerics.Rng.t ->
+  now:float ->
+  duration:float ->
+  threads_active:int ->
+  into:attempt_result ->
+  unit
 (** Execute one transaction of [duration] cycles starting at [now] with
-    [threads_active] concurrent threads.  Retries are capped; the cap
-    models contention management kicking in. *)
+    [threads_active] concurrent threads, overwriting every field of [into]
+    with the outcome.  Retries are capped; the cap models contention
+    management kicking in. *)
 
 val record_commit : t -> writes_at:float -> unit
 (** Tell the runtime a commit happened, feeding the global write-rate

@@ -15,6 +15,7 @@ let () =
       ("par", Test_par.suite);
       ("repro", Test_repro.suite);
       ("service", Test_service.suite);
+      ("store", Test_store.suite);
       ("faults", Test_faults.suite);
       ("exit-codes", Test_exit_codes.suite);
       ("validate", Test_validate.suite);

@@ -160,7 +160,9 @@ let test_jobs_knob () =
       Unix.putenv "ESTIMA_JOBS" "0";
       Alcotest.(check int) "non-positive env falls back to 1" 1 (Fanout.jobs ());
       Unix.putenv "ESTIMA_JOBS" "";
-      Alcotest.(check int) "empty env falls back to 1" 1 (Fanout.jobs ());
+      Alcotest.(check int) "empty env defaults to the host parallelism"
+        (Domain.recommended_domain_count ())
+        (Fanout.jobs ());
       Unix.putenv "ESTIMA_JOBS" "2";
       Fanout.set_jobs (Some 5);
       Alcotest.(check int) "override beats env" 5 (Fanout.jobs ());

@@ -269,13 +269,14 @@ let test_invalid_spec_rejected () =
 let test_memory_controller_queueing () =
   let m = Memory.create Machines.xeon20 in
   (* An idle controller charges no queueing. *)
-  Alcotest.(check (float 0.0)) "first request immediate" 0.0
-    (fst (Memory.request m ~socket:0 ~chip:0 ~now:0.0 ~hops:0));
+  ignore (Memory.request m ~socket:0 ~chip:0 ~now:0.0 ~hops:0);
+  Alcotest.(check (float 0.0)) "first request immediate" 0.0 (Memory.last_queue_delay m ~socket:0 ~chip:0);
   (* Sustain an arrival rate far above capacity for several windows: once
      the rate estimate catches up the controller must charge queueing. *)
   let delay = ref 0.0 in
   for i = 1 to 50_000 do
-    delay := fst (Memory.request m ~socket:0 ~chip:0 ~now:(float_of_int i *. 2.0) ~hops:0)
+    ignore (Memory.request m ~socket:0 ~chip:0 ~now:(float_of_int i *. 2.0) ~hops:0);
+    delay := Memory.last_queue_delay m ~socket:0 ~chip:0
   done;
   if !delay <= 100.0 then Alcotest.failf "saturated controller did not queue: %g" !delay;
   Alcotest.(check int) "fills counted" 50_001 (Memory.total_fills m ~socket:0 ~chip:0)
@@ -285,36 +286,39 @@ let test_memory_controller_reset () =
   ignore (Memory.request m ~socket:0 ~chip:0 ~now:0.0 ~hops:0);
   Memory.reset m;
   Alcotest.(check int) "reset clears fills" 0 (Memory.total_fills m ~socket:0 ~chip:0);
-  Alcotest.(check (float 0.0)) "no queue after reset" 0.0
-    (fst (Memory.request m ~socket:0 ~chip:0 ~now:0.0 ~hops:0))
+  ignore (Memory.request m ~socket:0 ~chip:0 ~now:0.0 ~hops:0);
+  Alcotest.(check (float 0.0)) "no queue after reset" 0.0 (Memory.last_queue_delay m ~socket:0 ~chip:0)
 
 let test_memory_remote_latency () =
   let m = Memory.create Machines.opteron48 in
-  let _, local = Memory.request m ~socket:1 ~chip:0 ~now:0.0 ~hops:0 in
-  let _, remote = Memory.request m ~socket:2 ~chip:1 ~now:0.0 ~hops:2 in
+  let local = Memory.request m ~socket:1 ~chip:0 ~now:0.0 ~hops:0 in
+  let remote = Memory.request m ~socket:2 ~chip:1 ~now:0.0 ~hops:2 in
   if remote <= local then Alcotest.fail "remote access not slower"
 
 let test_lock_fifo () =
   let l = Lock.create Spec.Spinlock ~count:1 ~line_transfer_cycles:10.0 in
-  let g1 = Lock.acquire l ~index:0 ~now:0.0 ~hold_for:100.0 in
-  let g2 = Lock.acquire l ~index:0 ~now:10.0 ~hold_for:100.0 in
+  let g1 = Lock.make_grant () and g2 = Lock.make_grant () in
+  Lock.acquire l ~into:g1 ~index:0 ~now:0.0 ~hold_for:100.0;
+  Lock.acquire l ~into:g2 ~index:0 ~now:10.0 ~hold_for:100.0;
   Alcotest.(check (float 0.0)) "first immediate" 0.0 g1.Lock.acquired_at;
   if g2.Lock.acquired_at < g1.Lock.released_at then Alcotest.fail "overlapping critical sections";
   Alcotest.(check (float 1e-9)) "second spins until free" 90.0 g2.Lock.spin_cycles
 
 let test_lock_striping () =
   let l = Lock.create Spec.Spinlock ~count:4 ~line_transfer_cycles:0.0 in
-  let g1 = Lock.acquire l ~index:0 ~now:0.0 ~hold_for:100.0 in
-  let g2 = Lock.acquire l ~index:1 ~now:0.0 ~hold_for:100.0 in
-  ignore g1;
-  Alcotest.(check (float 0.0)) "different stripes don't contend" 0.0 g2.Lock.spin_cycles;
+  let g = Lock.make_grant () in
+  Lock.acquire l ~into:g ~index:0 ~now:0.0 ~hold_for:100.0;
+  (* The same scratch grant is reusable: every field is overwritten. *)
+  Lock.acquire l ~into:g ~index:1 ~now:0.0 ~hold_for:100.0;
+  Alcotest.(check (float 0.0)) "different stripes don't contend" 0.0 g.Lock.spin_cycles;
   Alcotest.(check int) "no contention recorded" 0 (Lock.contended_acquisitions l)
 
 let test_stm_no_conflicts_single () =
   let rng = Rng.create 3 in
   let stm = Stm.create ~reads:4 ~writes:2 ~key_space:100 ~abort_penalty_cycles:10.0 ~line_transfer_cycles:10.0 in
-  let r = Stm.run_transaction stm ~rng ~now:0.0 ~duration:100.0 ~threads_active:1 in
-  Alcotest.(check int) "no aborts alone" 0 r.Stm.aborted_attempts;
+  let r = Stm.make_result () in
+  Stm.run_transaction stm ~rng ~now:0.0 ~duration:100.0 ~threads_active:1 ~into:r;
+  Alcotest.(check (float 0.0)) "no aborts alone" 0.0 r.Stm.aborted_attempts;
   Alcotest.(check (float 1e-9)) "commit after duration" 100.0 r.Stm.commit_at
 
 let test_stm_conflicts_under_load () =
@@ -324,13 +328,14 @@ let test_stm_conflicts_under_load () =
   for _ = 1 to 2000 do
     Stm.record_commit stm ~writes_at:1.0
   done;
-  let aborted = ref 0 in
+  let aborted = ref 0.0 in
+  let r = Stm.make_result () in
   for i = 1 to 200 do
     let now = 100.0 +. float_of_int i in
-    let r = Stm.run_transaction stm ~rng ~now ~duration:500.0 ~threads_active:16 in
-    aborted := !aborted + r.Stm.aborted_attempts
+    Stm.run_transaction stm ~rng ~now ~duration:500.0 ~threads_active:16 ~into:r;
+    aborted := !aborted +. r.Stm.aborted_attempts
   done;
-  if !aborted = 0 then Alcotest.fail "no aborts under heavy contention"
+  if !aborted = 0.0 then Alcotest.fail "no aborts under heavy contention"
 
 let test_cache_plan_ranges () =
   let p = Cache.plan Machines.opteron48 ~spec:memory_bound_spec ~threads:12 ~sockets_used:1 in
