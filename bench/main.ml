@@ -13,6 +13,8 @@
                                       print the T4-style accuracy table
      bench/main.exe --jobs N          run fit search and experiments on N
                                       domains (default: ESTIMA_JOBS or 1)
+     bench/main.exe --store DIR       persist measurement series in the
+                                      content-addressed store under DIR
      bench/main.exe --par-scaling [ID ...]
                                       time the reproduction (or the given
                                       experiments) at jobs in {1,2,4,cores},
@@ -327,22 +329,13 @@ let sim_scaling ids =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  (* --jobs N / -j N applies to every mode; consumed before dispatch. *)
-  let rec extract_jobs acc = function
-    | [] -> (None, List.rev acc)
-    | ("--jobs" | "-j") :: value :: rest -> (
-        match int_of_string_opt value with
-        | Some n when n >= 1 -> (Some n, List.rev_append acc rest)
-        | _ ->
-            prerr_endline "bench: --jobs expects an integer >= 1";
-            exit 1)
-    | [ ("--jobs" | "-j") ] ->
-        prerr_endline "bench: --jobs expects an integer >= 1";
-        exit 1
-    | a :: rest -> extract_jobs (a :: acc) rest
-  in
-  let jobs, args = extract_jobs [] args in
-  (match jobs with Some n -> Estima_par.Fanout.set_jobs (Some n) | None -> ());
+  (* --jobs N / -j N and --store DIR apply to every mode; consumed by
+     the shared extractors (same spellings and errors as the cmdliner
+     binaries) before dispatch. *)
+  let jobs, args = Estima.Config.Args.extract_jobs args in
+  Estima.Config.Args.apply_jobs jobs;
+  let store, args = Estima.Config.Args.extract_store args in
+  Estima.Config.Args.apply_store store;
   if List.mem "--list" args then
     List.iter (fun (id, _) -> print_endline id) Estima_repro.All.experiments
   else if List.mem "--fit-timing" args then fit_timing ()

@@ -52,12 +52,10 @@ let sockets_arg =
     & opt (some int) None
     & info [ "sockets" ] ~docv:"N" ~doc:"Restrict the measurements machine to its first $(docv) sockets.")
 
-let window_arg =
-  Arg.(
-    value
-    & opt (some int) None
-    & info [ "window"; "w" ] ~docv:"CORES"
-        ~doc:"Highest core count measured (defaults to the measurements machine's cores).")
+(* The cross-binary flags (--jobs/--store/--trace/--window/--confidence)
+   come from Config.Args so estima_cli, estima_serve and bench accept the
+   same spellings and print the same errors. *)
+let window_arg = Config.Args.window
 
 let software_arg =
   Arg.(
@@ -67,14 +65,7 @@ let software_arg =
 
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Simulation seed.")
 
-let trace_arg =
-  let fmt = Arg.enum [ ("text", Config.Text); ("json", Config.Json) ] in
-  Arg.(
-    value
-    & opt ~vopt:(Some Config.Text) (some fmt) None
-    & info [ "trace" ] ~docv:"FORMAT"
-        ~doc:
-          "Record a fit-selection audit trace and print it after the prediction: every (kernel,            prefix) candidate with the gate that rejected it (realism, growth cap, slope,            tie-break), the tie-break decisions, per-stage timings and counters.  $(docv) is            $(b,text) (default) or $(b,json).  Tracing never changes the predictions.")
+let trace_arg = Config.Args.trace
 
 (* The trace rendered by Api.predict_traced, printed after the normal
    output (text traces get a separating blank line; JSON already ends in
@@ -88,35 +79,11 @@ let print_trace (config : Config.t) rendered =
 let reps_arg =
   Arg.(value & opt int 5 & info [ "repetitions" ] ~docv:"N" ~doc:"Averaged runs per measured point.")
 
-let jobs_arg =
-  Arg.(
-    value
-    & opt (some int) None
-    & info [ "jobs"; "j" ] ~docv:"N"
-        ~doc:
-          "Run the fit search (and, for $(b,repro), the experiments) on $(docv) domains.            Defaults to $(b,ESTIMA_JOBS), or the host's available parallelism when unset            (clamped to the submitted work).  Results are byte-identical to a sequential run            regardless of $(docv).")
-
-(* --jobs beats ESTIMA_JOBS; without it the env default stays in force. *)
-let apply_jobs = function
-  | None -> ()
-  | Some n when n >= 1 -> Estima_par.Fanout.set_jobs (Some n)
-  | Some _ ->
-      prerr_endline "estima_cli: --jobs must be >= 1";
-      exit 1
-
-let store_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "store" ] ~docv:"DIR"
-        ~doc:
-          "Persist measurement series in the content-addressed store under $(docv) and reuse            matching entries on later runs (also settable via $(b,ESTIMA_STORE)).  A warm            entry is byte-identical to a fresh collection, so outputs never change; default            off.")
-
-(* --store beats ESTIMA_STORE; without it the env default (read when the
-   default store is first touched) stays in force. *)
-let apply_store = function
-  | None -> ()
-  | Some dir -> Estima_store.Store.set_dir (Estima_store.Store.default ()) (Some dir)
+let jobs_arg = Config.Args.jobs
+let apply_jobs = Config.Args.apply_jobs
+let store_arg = Config.Args.store
+let apply_store = Config.Args.apply_store
+let confidence_arg = Config.Args.confidence
 
 let restrict machine = function
   | None -> machine
@@ -279,9 +246,22 @@ let ingested_series ~path ~machine ~software ~expr =
       in
       (series, true)
 
+(* The --confidence addendum shared by predict and the service: run the
+   bootstrap on the already-predicted series and print the band table.
+   predict_with_confidence re-runs the (deterministic) point prediction
+   internally; the resamples dominate the cost. *)
+let print_confidence ~config ~series ~target_max ~resamples prediction =
+  match Api.predict_with_confidence ~config ~resamples ~series ~target_max () with
+  | Error d -> fail_diag d
+  | Ok (_, c) ->
+      Printf.printf "\n%s\n\n" (Api.render_confidence_summary c);
+      print_endline (Api.confidence_rows_header c);
+      List.iter print_endline (Api.render_confidence_rows prediction c);
+      Printf.printf "\nconfidence: %s\n" (Api.render_confidence_verdict c)
+
 let predict_cmd =
   let run entry from measure_machine sockets window target software expr seed reps trace jobs
-      store =
+      store confidence =
     apply_jobs jobs;
     apply_store store;
     let measure_machine = restrict measure_machine sockets in
@@ -313,6 +293,11 @@ let predict_cmd =
         print_endline Api.rows_header;
         List.iter print_endline (Api.render_rows prediction);
         Printf.printf "\nprediction: %s\n" (Api.render_verdict prediction);
+        (match confidence with
+        | None -> ()
+        | Some resamples ->
+            print_confidence ~config ~series ~target_max:(Topology.cores target) ~resamples
+              prediction);
         print_trace config rendered_trace
   in
   Cmd.v
@@ -328,12 +313,12 @@ let predict_cmd =
       $ sockets_arg $ window_arg
       $ machine_arg ~default:Machines.opteron48 [ "target"; "t" ] "Target machine."
       $ predict_software_arg $ expr_arg $ seed_arg $ reps_arg $ trace_arg $ jobs_arg
-      $ store_arg)
+      $ store_arg $ confidence_arg)
 
 (* --------------------------- compare ------------------------------ *)
 
 let compare_cmd =
-  let run entry target software seed reps jobs store =
+  let run entry target software seed reps jobs store confidence =
     apply_jobs jobs;
     apply_store store;
     ignore software;
@@ -366,14 +351,34 @@ let compare_cmd =
       (100.0 *. o.Experiment.baseline_error.Diag.Quality.max_error)
       (Diag.Quality.verdict_to_string o.Experiment.baseline_error.Diag.Quality.predicted_verdict)
       (if o.Experiment.baseline_error.Diag.Quality.verdict_agrees then "correct" else "wrong");
-    Printf.printf "measured:    %s\n" (Diag.Quality.verdict_to_string o.Experiment.error.Diag.Quality.measured_verdict)
+    Printf.printf "measured:    %s\n" (Diag.Quality.verdict_to_string o.Experiment.error.Diag.Quality.measured_verdict);
+    match confidence with
+    | None -> ()
+    | Some resamples -> (
+        (* The bootstrap re-predicts under the Api config (same machines,
+           same window), so its verdict is directly comparable to the
+           ESTIMA row above. *)
+        let config =
+          Config.make
+            ~include_software:(entry.Suite.plugins <> [])
+            ~measured_on:(Machines.restrict_sockets target ~sockets:1)
+            ~target ()
+        in
+        match
+          Api.predict_with_confidence ~config ~resamples ~series:o.Experiment.measurements
+            ~target_max:(Topology.cores target) ()
+        with
+        | Error d -> fail_diag d
+        | Ok (_, c) ->
+            Printf.printf "\n%s\nconfidence:  %s\n" (Api.render_confidence_summary c)
+              (Api.render_confidence_verdict c))
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"ESTIMA vs time extrapolation vs ground truth on one machine.")
     Term.(
       const run $ workload_arg
       $ machine_arg ~default:Machines.opteron48 [ "target"; "t" ] "Machine (measure 1 socket, predict all)."
-      $ software_arg $ seed_arg $ reps_arg $ jobs_arg $ store_arg)
+      $ software_arg $ seed_arg $ reps_arg $ jobs_arg $ store_arg $ confidence_arg)
 
 (* -------------------------- bottleneck ---------------------------- *)
 
@@ -472,8 +477,29 @@ let validate_cmd =
           ~doc:
             "DEV ONLY.  Skew every fit kernel before backtesting, to demonstrate that the gate            fails when the engine regresses.  Never bless a perturbed run.")
   in
-  let run golden bless json epsilon only no_differential work_dir cli_bin serve_bin perturb jobs
-      store =
+  let calibration_flag =
+    Arg.(
+      value & flag
+      & info [ "calibration" ]
+          ~doc:
+            "Also score the bootstrap confidence bands: the fraction of held-out ground-truth            points inside each workload's 90% band must reach the calibration threshold in            aggregate, or the gate fails.")
+  in
+  let calibration_resamples_arg =
+    Arg.(
+      value
+      & opt int Estima_validate.Calibration.default_resamples
+      & info [ "calibration-resamples" ] ~docv:"N"
+          ~doc:"Bootstrap resamples per workload for $(b,--calibration).")
+  in
+  let perturb_calibration_flag =
+    Arg.(
+      value & flag
+      & info [ "perturb-calibration" ]
+          ~doc:
+            "DEV ONLY.  Shrink the bootstrap residuals so the bands are deliberately            overconfident, to demonstrate that the calibration check fails when the bands            are mis-calibrated.  Implies $(b,--calibration).")
+  in
+  let run golden bless json epsilon only no_differential work_dir cli_bin serve_bin perturb
+      calibration calibration_resamples perturb_calibration jobs store =
     apply_jobs jobs;
     apply_store store;
     let options =
@@ -487,6 +513,9 @@ let validate_cmd =
         cli_bin;
         serve_bin;
         perturb;
+        calibration;
+        calibration_resamples;
+        perturb_calibration;
       }
     in
     match Estima_validate.Gate.run options with
@@ -505,6 +534,7 @@ let validate_cmd =
     Term.(
       const run $ golden_arg $ bless_flag $ json_flag $ epsilon_arg $ only_arg
       $ no_differential_flag $ work_dir_arg $ cli_bin_arg $ serve_bin_arg $ perturb_flag
+      $ calibration_flag $ calibration_resamples_arg $ perturb_calibration_flag
       $ jobs_arg $ store_arg)
 
 (* ---------------------------- repro ------------------------------- *)

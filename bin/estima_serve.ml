@@ -46,12 +46,11 @@ let target_arg =
     & info [ "target"; "t" ] ~docv:"MACHINE"
         ~doc:"Machine to extrapolate to; its core count is the default target_max.")
 
-let jobs_arg =
-  Arg.(
-    value & opt int 1
-    & info [ "jobs"; "j" ] ~docv:"N"
-        ~doc:
-          "Worker pool size: distinct requests in a batch run on $(docv) domains.            Responses are byte-identical regardless of $(docv).")
+(* The cross-binary flags (--jobs/--store) come from Config.Args so all
+   three binaries accept the same spellings and print the same errors;
+   the pool wants a concrete size, so the shared optional flag resolves
+   through require_jobs. *)
+let jobs_arg = Config.Args.jobs
 
 let queue_arg =
   Arg.(
@@ -73,13 +72,7 @@ let timeout_arg =
         ~doc:
           "Default queue-wait deadline: a request still waiting after $(docv) ms is shed with            a typed `deadline-exceeded` error.  Requests may override with their own            timeout_ms member.  Without this option requests wait forever.")
 
-let store_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "store" ] ~docv:"DIR"
-        ~doc:
-          "Persist simulated measurement series (\"workload\" predict requests) in the            content-addressed store under $(docv) and reuse matching entries across restarts            (also settable via $(b,ESTIMA_STORE)).  Warm entries are byte-identical to a fresh            collection; default off.")
+let store_arg = Config.Args.store
 
 let socket_arg =
   Arg.(
@@ -155,7 +148,7 @@ let serve machine sockets target jobs queue cache timeout_ms socket_path max_buf
       Server.machine;
       target = Some target;
       base;
-      jobs;
+      jobs = Config.Args.require_jobs ~default:1 jobs;
       queue_capacity = queue;
       cache_capacity = cache;
       default_timeout_ms = timeout_ms;
@@ -186,7 +179,10 @@ let cmd =
         "Requests: {\"id\":1,\"op\":\"predict\",\"file\":\"m.csv\"} (or \"csv\" inline), \
          {\"op\":\"metrics\"}, {\"op\":\"shutdown\"}.  Successful predict responses carry the \
          exact text `estima_cli predict` prints, split into summary/header/rows/verdict; \
-         failures carry the typed diagnostic with its CLI exit code.";
+         failures carry the typed diagnostic with its CLI exit code.  Protocol version 2 \
+         requests ({\"v\":2}) may additionally ask for bootstrap confidence bands with \
+         {\"confidence\":RESAMPLES}; requests without \"v\" get the version 1 wire format, \
+         byte for byte.";
     ]
   in
   Cmd.v

@@ -1,12 +1,13 @@
 open Estima_counters
 
-let version = 1
+let version = 2
 
 module Config = Config
 module Diag = Diag
 module Quality = Diag.Quality
 module Prediction = Predictor
 module Bottleneck = Bottleneck
+module Confidence = Estima_confidence.Confidence
 
 (* Collection resolves through the shared measurement store: repeated
    collects of the same request (same spec, machine, window, seed,
@@ -80,6 +81,66 @@ let predict_traced ?(config = Config.default) ~series ~target_max () =
       in
       (result, Some rendered)
 
+(* The confidence wrapper: run the point prediction, then hand the
+   pipeline's own fitted curves over the measured window (per stall
+   category, plus the translated time curve mapped back to measured
+   space) to the residual bootstrap, with the full predictor injected as
+   the refit closure.  The bootstrap fans out on Fanout, so the bands are
+   byte-identical at any --jobs setting, like the prediction itself. *)
+let predict_with_confidence ?(config = Config.default) ?(resamples = 100) ?(level = 0.90)
+    ?(seed = 42) ?(residual_scale = 1.0) ~series ~target_max () =
+  let bad what =
+    Diag.error ~stage:Diag.Translate ~subject:series.Series.spec_name (Diag.Bad_config { what })
+  in
+  if resamples < 1 then bad (Printf.sprintf "confidence resamples %d (need >= 1)" resamples)
+  else if not (level > 0.0 && level < 1.0) then
+    bad (Printf.sprintf "confidence level %g (need 0 < level < 1)" level)
+  else
+    match predict ~config ~series ~target_max () with
+    | Error d -> Error d
+    | Ok p ->
+        let pc = Config.predictor config in
+        let threads = p.Predictor.extrapolation.Extrapolation.threads in
+        let curves =
+          List.map
+            (fun (f : Extrapolation.category_fit) ->
+              {
+                Confidence.category = f.Extrapolation.category;
+                fitted =
+                  Array.map
+                    (fun x ->
+                      Float.max 0.0
+                        (f.Extrapolation.choice.Approximation.fitted.Estima_kernels.Fit.eval x))
+                    threads;
+                measured = f.Extrapolation.measured;
+              })
+            p.Predictor.extrapolation.Extrapolation.fits
+        in
+        (* predicted_times are in target space (frequency and dataset
+           scaling applied); divide the scales back out so the time
+           residuals live in the same units as the measured series. *)
+        let scale = pc.Predictor.frequency_scale *. pc.Predictor.dataset_factor in
+        let fitted_times =
+          Array.map (fun x -> p.Predictor.predicted_times.(int_of_float x - 1) /. scale) threads
+        in
+        let predict_resample s =
+          match Predictor.predict ~config:pc ~series:s ~target_max () with
+          | Ok r -> Some r.Predictor.predicted_times
+          | Error _ -> None
+        in
+        let grid = p.Predictor.target_grid in
+        let classify times =
+          match Quality.scaling_verdict ~times ~grid () with
+          | Quality.Scales -> `Scales
+          | Quality.Stops_at k -> `Stops_at k
+        in
+        let confidence =
+          Confidence.estimate ~level ~residual_scale ~resamples ~seed ~series ~curves
+            ~fitted_times ~base_times:p.Predictor.predicted_times ~target_grid:grid
+            ~predict:predict_resample ~classify ()
+        in
+        Ok (p, confidence)
+
 let render_summary prediction = Format.asprintf "%a" Predictor.pp_summary prediction
 
 let rows_header = "cores  predicted-time(s)  stalls/core"
@@ -96,3 +157,27 @@ let verdict (p : Prediction.t) =
   Quality.scaling_verdict ~times:p.Predictor.predicted_times ~grid:p.Predictor.target_grid ()
 
 let render_verdict p = "the application " ^ Quality.verdict_to_string (verdict p)
+
+let render_confidence_summary (c : Confidence.t) =
+  Printf.sprintf "confidence: %g%% bands from %d/%d bootstrap resamples (seed %d)"
+    (100.0 *. c.Confidence.level) c.Confidence.succeeded c.Confidence.resamples
+    c.Confidence.seed
+
+let confidence_rows_header (c : Confidence.t) =
+  let q_lo = (1.0 -. c.Confidence.level) /. 2.0 in
+  Printf.sprintf "%5s  %17s  %17s  %17s" "cores"
+    (Printf.sprintf "p%g-time(s)" (Float.round (100.0 *. q_lo)))
+    "p50-time(s)"
+    (Printf.sprintf "p%g-time(s)" (Float.round (100.0 *. (1.0 -. q_lo))))
+
+let render_confidence_rows (p : Prediction.t) (c : Confidence.t) =
+  Array.to_list
+    (Array.mapi
+       (fun i n ->
+         let b = c.Confidence.bands.(i) in
+         Printf.sprintf "%5.0f  %17.5f  %17.5f  %17.5f" n b.Confidence.lo b.Confidence.median
+           b.Confidence.hi)
+       p.Predictor.target_grid)
+
+let render_confidence_verdict (c : Confidence.t) =
+  "the application " ^ Confidence.verdict_to_string c

@@ -25,10 +25,15 @@ open Estima_counters
 
 val version : int
 (** The API generation, bumped on any incompatible change to this
-    signature or to the service wire protocol built on it.  Currently 1. *)
+    signature or to the service wire protocol built on it.  Currently 2:
+    version 2 removed the deprecated [*_exn] wrappers (the result-typed
+    pipeline is the only entry point), added
+    {!predict_with_confidence} with its renderers, and introduced the
+    versioned ["v"] member on the service wire protocol. *)
 
 (** Re-exports: the full knob record, diagnostics, quality metrics, the
-    prediction type, and bottleneck analysis. *)
+    prediction type, bottleneck analysis, and the bootstrap confidence
+    machinery. *)
 
 module Config = Config
 
@@ -36,6 +41,7 @@ module Diag = Diag
 module Quality = Diag.Quality
 module Prediction = Predictor
 module Bottleneck = Bottleneck
+module Confidence = Estima_confidence.Confidence
 
 (** {1 Stage A — collect} *)
 
@@ -133,6 +139,29 @@ val predict_traced :
     pipeline fails, which is exactly when the trace explains the most.
     With [config.trace = None] this is [predict] paired with [None]. *)
 
+val predict_with_confidence :
+  ?config:Config.t ->
+  ?resamples:int ->
+  ?level:float ->
+  ?seed:int ->
+  ?residual_scale:float ->
+  series:Series.t ->
+  target_max:int ->
+  unit ->
+  (Prediction.t * Confidence.t, Diag.t) result
+(** {!predict} plus a residual-bootstrap uncertainty estimate
+    ({!Confidence.estimate}): the pipeline is refitted on [resamples]
+    (default 100) perturbed copies of the measured window, seeded by
+    [seed] (default 42, the collection default), and the ensemble is
+    summarised as [level] (default 0.90) confidence bands, a stop-point
+    interval and a risk-aware verdict.  Deterministic and byte-identical
+    at any jobs setting.  [residual_scale] (default 1.0) is a
+    calibration instrument — shrinking it deliberately mis-calibrates
+    the bands, which the validation gate must detect; leave it alone
+    otherwise.  Invalid [resamples]/[level] are a typed
+    {!Diag.Bad_config}; pipeline failures are the same diagnostics
+    {!predict} returns. *)
+
 (** {1 Rendering}
 
     The canonical textual forms of a prediction, shared by [estima_cli
@@ -155,3 +184,19 @@ val verdict : Prediction.t -> Quality.verdict
 val render_verdict : Prediction.t -> string
 (** ["the application scales"] / ["the application stops at N cores"] —
     the phrase both binaries print. *)
+
+val render_confidence_summary : Confidence.t -> string
+(** One line describing the ensemble:
+    ["confidence: 90% bands from 100/100 bootstrap resamples (seed 42)"]. *)
+
+val confidence_rows_header : Confidence.t -> string
+(** The column header above {!render_confidence_rows} (quantile names
+    follow the estimate's level, e.g. p5/p50/p95 at 0.90). *)
+
+val render_confidence_rows : Prediction.t -> Confidence.t -> string list
+(** One line per target core count: cores, band low, median, band high —
+    aligned with {!render_rows}, shared verbatim by [estima_cli predict
+    --confidence] and the service's confidence block. *)
+
+val render_confidence_verdict : Confidence.t -> string
+(** ["the application "] followed by {!Confidence.verdict_to_string}. *)

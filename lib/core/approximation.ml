@@ -20,7 +20,7 @@ let checkpoint_indices ~m ~c = List.init c (fun i -> m - c + i)
 let sub_prefix arr n = Array.sub arr 0 n
 
 let fit_prefix kernel ~xs ~ys ~prefix =
-  if prefix > Array.length xs then invalid_arg "Approximation.fit_prefix: prefix too long" (* exn-shim *);
+  if prefix > Array.length xs then invalid_arg "Approximation.fit_prefix: prefix too long";
   Fit.fit kernel ~xs:(sub_prefix xs prefix) ~ys:(sub_prefix ys prefix)
 
 (* Trace helpers, all guarded on [Trace.enabled]: with no sink installed
@@ -326,9 +326,3 @@ let approximate ?(config = default_config) ?(subject = "series") ~xs ~ys ~target
       Ok choice
   | None -> err (Diag.No_realistic_fit { window = int_of_float xs.(m - 1) })
   end
-
-let approximate_exn ?config ?subject ~xs ~ys ~target_max ~require_nonnegative () =
-  match approximate ?config ?subject ~xs ~ys ~target_max ~require_nonnegative () with
-  | Ok choice -> Some choice
-  | Error { Diag.cause = Diag.No_realistic_fit _; _ } -> None
-  | Error d -> Diag.raise_exn d (* exn-shim *)

@@ -60,19 +60,6 @@ val approximate :
     {!Diag.Mismatched_lengths}, {!Diag.Bad_config}), and a series no
     candidate survives on as [Error] with {!Diag.No_realistic_fit}. *)
 
-val approximate_exn :
-  ?config:config ->
-  ?subject:string ->
-  xs:float array ->
-  ys:float array ->
-  target_max:float ->
-  require_nonnegative:bool ->
-  unit ->
-  choice option
-  [@@deprecated "use Approximation.approximate, which returns (_, Diag.t) result"]
-(** Legacy entry point: [None] for {!Diag.No_realistic_fit}, raises via
-    {!Diag.raise_exn} on every other [Error]. *)
-
 val checkpoint_indices : m:int -> c:int -> int list
 (** Indices of the checkpoint measurements (the [c] last of [m]); exposed
     for tests. *)

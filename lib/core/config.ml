@@ -76,6 +76,122 @@ let validate t =
     | Some n when n < 1 -> bad (Printf.sprintf "jobs = %d (need >= 1)" n)
     | _ -> Ok ()
 
+(* Shared command-line vocabulary.  estima_cli, estima_serve and
+   bench/main.exe all accept --jobs/--store (and the CLI --trace,
+   --window, --confidence); defining the terms once here is what keeps
+   the three binaries' spellings, defaults and error messages from
+   drifting apart.  bench parses argv by hand (it links no cmdliner), so
+   the module also exposes cmdliner-free extractors with the same
+   behaviour. *)
+module Args = struct
+  open Cmdliner
+
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Run parallel work on $(docv) domains (the fit search in $(b,estima_cli) and            $(b,bench), the request worker pool in $(b,estima_serve)).  Defaults to            $(b,ESTIMA_JOBS), or the binary's own default when unset.  Results are            byte-identical to a sequential run regardless of $(docv).")
+
+  (* --jobs beats ESTIMA_JOBS; without it the env default stays in force. *)
+  let apply_jobs = function
+    | None -> ()
+    | Some n when n >= 1 -> Estima_par.Fanout.set_jobs (Some n)
+    | Some _ ->
+        prerr_endline "estima: --jobs must be >= 1";
+        exit 1
+
+  let require_jobs ~default = function
+    | None -> default
+    | Some n when n >= 1 -> n
+    | Some _ ->
+        prerr_endline "estima: --jobs must be >= 1";
+        exit 1
+
+  let store =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "Persist measurement series in the content-addressed store under $(docv) and reuse            matching entries on later runs (also settable via $(b,ESTIMA_STORE)).  A warm            entry is byte-identical to a fresh collection, so outputs never change; default            off.")
+
+  (* --store beats ESTIMA_STORE; without it the env default (read when the
+     default store is first touched) stays in force. *)
+  let apply_store = function
+    | None -> ()
+    | Some dir -> Estima_store.Store.set_dir (Estima_store.Store.default ()) (Some dir)
+
+  let trace =
+    let fmt = Arg.enum [ ("text", Text); ("json", Json) ] in
+    Arg.(
+      value
+      & opt ~vopt:(Some Text) (some fmt) None
+      & info [ "trace" ] ~docv:"FORMAT"
+          ~doc:
+            "Record a fit-selection audit trace and print it after the prediction: every (kernel,            prefix) candidate with the gate that rejected it (realism, growth cap, slope,            tie-break), the tie-break decisions, per-stage timings and counters.  $(docv) is            $(b,text) (default) or $(b,json).  Tracing never changes the predictions.")
+
+  let window =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "window"; "w" ] ~docv:"CORES"
+          ~doc:"Highest core count measured (defaults to the measurements machine's cores).")
+
+  let confidence =
+    Arg.(
+      value
+      & opt ~vopt:(Some 100) (some int) None
+      & info [ "confidence" ] ~docv:"RESAMPLES"
+          ~doc:
+            "Attach bootstrap confidence bands to the prediction: refit the pipeline on $(docv)            residual resamples of the measured window (default 100) and report p5/p50/p95            predicted times, a stop-point interval and a risk-aware verdict.  Deterministic            and byte-identical at any $(b,--jobs).")
+
+  (* Hand-rolled argv versions of --jobs/--store for binaries that link
+     no cmdliner (bench).  First occurrence wins and is consumed;
+     "--flag value" and "--flag=value" are both accepted. *)
+  let extract_value ~names ~missing args =
+    let split a =
+      List.find_map
+        (fun name ->
+          let prefix = name ^ "=" in
+          let n = String.length prefix in
+          if String.length a > n && String.sub a 0 n = prefix then
+            Some (String.sub a n (String.length a - n))
+          else None)
+        names
+    in
+    let rec go acc = function
+      | [] -> (None, List.rev acc)
+      | a :: rest when List.mem a names -> (
+          match rest with
+          | value :: rest -> (Some value, List.rev_append acc rest)
+          | [] -> missing ())
+      | a :: rest -> (
+          match split a with
+          | Some value -> (Some value, List.rev_append acc rest)
+          | None -> go (a :: acc) rest)
+    in
+    go [] args
+
+  let extract_jobs args =
+    let fail () =
+      prerr_endline "estima: --jobs expects an integer >= 1";
+      exit 1
+    in
+    match extract_value ~names:[ "--jobs"; "-j" ] ~missing:fail args with
+    | None, rest -> (None, rest)
+    | Some value, rest -> (
+        match int_of_string_opt value with Some n when n >= 1 -> (Some n, rest) | _ -> fail ())
+
+  let extract_store args =
+    let fail () =
+      prerr_endline "estima: --store expects a directory";
+      exit 1
+    in
+    extract_value ~names:[ "--store" ] ~missing:fail args
+end
+
 (* The fields that decide the numbers, and nothing else: jobs and trace
    are observationally neutral by the Fanout/Trace contracts, so two
    configs differing only there must hash to the same cache key. *)

@@ -77,6 +77,51 @@ val validate : t -> (unit, Diag.t) result
     consumes; this exists so services can reject a bad configuration at
     admission time with a typed {!Diag.t}. *)
 
+(** The shared command-line vocabulary of the three binaries.
+
+    [estima_cli], [estima_serve] and [bench/main.exe] historically each
+    spelled their own [--jobs]/[--store]/[--trace]/[--window] parsing;
+    the terms live here now so the spellings, defaults, documentation
+    and error messages cannot drift.  The [extract_*] functions are the
+    cmdliner-free equivalents for hand-rolled argv loops (bench). *)
+module Args : sig
+  val jobs : int option Cmdliner.Term.t
+  (** [--jobs N] / [-j N]; [None] leaves the binary's default in force. *)
+
+  val apply_jobs : int option -> unit
+  (** Pin {!Estima_par.Fanout.set_jobs} for [Some n] ([n >= 1], else a
+      one-line error on stderr and [exit 1]); [None] keeps the
+      [ESTIMA_JOBS] environment default. *)
+
+  val require_jobs : default:int -> int option -> int
+  (** Resolve the flag to a concrete count for consumers that need one
+      (the serve worker pool): [default] when absent, the value when
+      [>= 1], the same error and [exit 1] otherwise. *)
+
+  val store : string option Cmdliner.Term.t
+  (** [--store DIR]; also settable via [ESTIMA_STORE]. *)
+
+  val apply_store : string option -> unit
+  (** Point the default {!Estima_store.Store} at [Some dir]; [None]
+      keeps the environment default. *)
+
+  val trace : trace_format option Cmdliner.Term.t
+  (** [--trace[=text|json]]; bare [--trace] means text. *)
+
+  val window : int option Cmdliner.Term.t
+  (** [--window CORES] / [-w CORES]. *)
+
+  val confidence : int option Cmdliner.Term.t
+  (** [--confidence[=RESAMPLES]]; bare [--confidence] means 100. *)
+
+  val extract_jobs : string list -> int option * string list
+  (** Consume the first [--jobs N]/[-j N]/[--jobs=N] from an argv list;
+      malformed values print the shared error and [exit 1]. *)
+
+  val extract_store : string list -> string option * string list
+  (** Consume the first [--store DIR]/[--store=DIR] likewise. *)
+end
+
 val fingerprint : t -> string
 (** Canonical one-line rendering of every field that can change the
     numbers — deliberately excluding [jobs] and [trace], which are

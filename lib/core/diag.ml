@@ -98,12 +98,6 @@ let exit_code t =
   | Internal_error _ -> 5
   | _ -> 2
 
-let raise_exn t = (* exn-shim *)
-  match t.cause with
-  | No_realistic_fit _ | Overloaded _ | Deadline_exceeded _ | Internal_error _ ->
-      failwith (render t) (* exn-shim *)
-  | _ -> invalid_arg (render t) (* exn-shim *)
-
 (* A diagnostic must stay a one-line wire payload of sane size, so the
    captured backtrace is flattened and clipped; [Printexc] output is
    newline-separated frames, most recent first, and the first few frames

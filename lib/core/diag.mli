@@ -8,12 +8,11 @@
     success, and on failure a diagnostic carrying {e which stage} failed,
     {e what subject} (stall category, workload, file) it was working on,
     and a {e typed cause} that callers can branch on — with a single
-    human rendering used everywhere (CLI stderr, [_exn] wrappers, trace
-    events).
+    human rendering used everywhere (CLI stderr, trace events).
 
-    The legacy raising entry points survive as thin [_exn] wrappers in
-    each stage module, so existing scripts and the repro harness keep
-    their exact behaviour. *)
+    Since API version 2 the result-typed entry points are the only ones:
+    the deprecated [_exn] wrappers of versions 0/1 are gone, so no
+    pipeline path raises on bad input anymore. *)
 
 (** The pipeline stage that failed (Figure 3's three steps), plus the
     serving layer wrapped around them. *)
@@ -83,8 +82,8 @@ type t = { stage : stage; subject : string; cause : cause }
 val make : stage:stage -> subject:string -> cause -> t
 
 val render : t -> string
-(** The one-line human rendering used on CLI stderr and in [_exn]
-    wrappers: ["estima: [<stage>] <subject>: <cause message>"]. *)
+(** The one-line human rendering used on CLI stderr:
+    ["estima: [<stage>] <subject>: <cause message>"]. *)
 
 val error : stage:stage -> subject:string -> cause -> ('a, t) result
 (** [Error (make ~stage ~subject cause)], additionally reported as a
@@ -97,13 +96,6 @@ val exit_code : t -> int
     conditions ({!Overloaded}, {!Deadline_exceeded} — retrying may
     succeed), 5 for {!Internal_error} (a bug in the pipeline, not in the
     request), 2 for every bad-input cause. *)
-
-val raise_exn : t -> 'a
-(** The legacy exception for this diagnostic: [Failure] for
-    {!No_realistic_fit} (what the pipeline used to [failwith]), for the
-    transient service conditions and for {!Internal_error},
-    [Invalid_argument] otherwise — all carrying {!render}.  Used by the
-    [_exn] compatibility wrappers. *)
 
 val of_exn :
   ?stage:stage -> subject:string -> exn -> Printexc.raw_backtrace -> t

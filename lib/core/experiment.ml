@@ -81,9 +81,6 @@ let run ?target_max setup =
   in
   Ok { setup; measurements; prediction; truth; error; time_baseline; baseline_error }
 
-let run_exn ?target_max setup =
-  match run ?target_max setup with Ok o -> o | Error d -> Diag.raise_exn d (* exn-shim *)
-
 let max_error_from outcome ~from_threads =
   List.fold_left
     (fun acc (threads, e) -> if threads >= from_threads then Float.max acc e else acc)

@@ -47,10 +47,6 @@ val run : ?target_max:int -> setup -> (outcome, Diag.t) result
     window) come back as [Error]; the time baseline carries the workload
     name as its diagnostic subject. *)
 
-val run_exn : ?target_max:int -> setup -> outcome
-  [@@deprecated "use Experiment.run, which returns (_, Diag.t) result"]
-(** Legacy raising entry point: {!Diag.raise_exn} on [Error]. *)
-
 val max_error_from : outcome -> from_threads:int -> float
 (** Maximum relative error restricted to core counts >= [from_threads]
     (e.g. only the extrapolated region). *)

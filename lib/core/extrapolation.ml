@@ -115,14 +115,9 @@ let extrapolate ?(config = Approximation.default_config) ~series ~target_max ~in
   | _, d :: _ -> Error d
   end
 
-let extrapolate_exn ?config ~series ~target_max ~include_software ~include_frontend () =
-  match extrapolate ?config ~series ~target_max ~include_software ~include_frontend () with
-  | Ok t -> t
-  | Error d -> Diag.raise_exn d (* exn-shim *)
-
 let category_values t name =
   match List.find_opt (fun f -> String.equal f.category name) t.fits with
-  | None -> raise Not_found (* exn-shim *)
+  | None -> raise Not_found
   | Some f -> Array.map (clamped_eval f) t.target_grid
 
 let total_stalls t n = List.fold_left (fun acc f -> acc +. clamped_eval f n) 0.0 t.fits

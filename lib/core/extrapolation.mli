@@ -46,17 +46,6 @@ val extrapolate :
     fitted inside a [category:<name>] span and its candidate gate
     decisions are reported with the category as subject. *)
 
-val extrapolate_exn :
-  ?config:Approximation.config ->
-  series:Series.t ->
-  target_max:int ->
-  include_software:bool ->
-  include_frontend:bool ->
-  unit ->
-  t
-  [@@deprecated "use Extrapolation.extrapolate, which returns (_, Diag.t) result"]
-(** Legacy raising entry point: {!Diag.raise_exn} on [Error]. *)
-
 val category_values : t -> string -> float array
 (** Extrapolated values of one category on the target grid, clamped at
     zero — consistently with {!total_stalls}, so the per-category curves

@@ -124,14 +124,9 @@ let predict ?(config = default_config) ~series ~target_max () =
   end
   else predict_untraced ~config ~series ~target_max ()
 
-let predict_exn ?config ~series ~target_max () =
-  match predict ?config ~series ~target_max () with
-  | Ok p -> p
-  | Error d -> Diag.raise_exn d (* exn-shim *)
-
 let predicted_time_at t ~threads =
   if threads < 1 || threads > Array.length t.predicted_times then
-    invalid_arg "Predictor.predicted_time_at: outside target grid" (* exn-shim *);
+    invalid_arg "Predictor.predicted_time_at: outside target grid";
   t.predicted_times.(threads - 1)
 
 let measured_window t = Series.max_threads t.series

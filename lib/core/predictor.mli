@@ -51,11 +51,6 @@ val predict :
     is installed, each diagnostic is also emitted as a
     {!Estima_obs.Trace.Diagnostic} event before the stage returns. *)
 
-val predict_exn : ?config:config -> series:Series.t -> target_max:int -> unit -> t
-  [@@deprecated "use Predictor.predict (or Api.predict), which returns (_, Diag.t) result"]
-(** Legacy raising entry point: {!Diag.raise_exn} on [Error]
-    ([Invalid_argument] for bad input, [Failure] for no realistic fit). *)
-
 val predicted_time_at : t -> threads:int -> float
 (** Raises [Invalid_argument] outside the target grid. *)
 

@@ -221,13 +221,5 @@ let fit ?(config = Approximation.default_config) ~threads ~times ~stalls_per_cor
       Ok { fitted; correlation = Float.nan; measured_factors = factors }
   end
 
-let fit_exn ?config ~threads ~times ~stalls_per_core_measured ~stalls_per_core_grid ~target_grid
-    () =
-  match
-    fit ?config ~threads ~times ~stalls_per_core_measured ~stalls_per_core_grid ~target_grid ()
-  with
-  | Ok t -> t
-  | Error d -> Diag.raise_exn d (* exn-shim *)
-
 let predict_times t ~stalls_per_core_grid ~target_grid =
   predict_with t.fitted ~stalls_per_core_grid ~target_grid

@@ -44,17 +44,5 @@ val fit :
     is reported under the [factor-fit] stage, including the
     correlation-vs-RMSE tie-break decisions inside the correlation band. *)
 
-val fit_exn :
-  ?config:Approximation.config ->
-  threads:float array ->
-  times:float array ->
-  stalls_per_core_measured:float array ->
-  stalls_per_core_grid:float array ->
-  target_grid:float array ->
-  unit ->
-  t
-  [@@deprecated "use Scaling_factor.fit, which returns (_, Diag.t) result"]
-(** Legacy raising entry point: {!Diag.raise_exn} on [Error]. *)
-
 val predict_times : t -> stalls_per_core_grid:float array -> target_grid:float array -> float array
 (** [factor(n) * stalls_per_core(n)] over the grid. *)

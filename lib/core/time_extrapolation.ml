@@ -29,8 +29,3 @@ let predict ?(config = Approximation.default_config) ?(subject = "series") ~thre
             predicted_times = Array.map choice.Approximation.fitted.Fit.eval target_grid;
             kernel_name = choice.Approximation.fitted.Fit.kernel_name;
           }
-
-let predict_exn ?config ?subject ~threads ~times ~target_max ?frequency_scale () =
-  match predict ?config ?subject ~threads ~times ~target_max ?frequency_scale () with
-  | Ok t -> t
-  | Error d -> Diag.raise_exn d (* exn-shim *)

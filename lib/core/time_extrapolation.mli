@@ -27,17 +27,3 @@ val predict :
     {!Diag.Mismatched_lengths}, {!Diag.Bad_value},
     {!Diag.Target_below_window}); a series even the polynomial fallback
     cannot fit realistically as [Error] with {!Diag.No_realistic_fit}. *)
-
-val predict_exn :
-  ?config:Approximation.config ->
-  ?subject:string ->
-  threads:float array ->
-  times:float array ->
-  target_max:int ->
-  ?frequency_scale:float ->
-  unit ->
-  t
-  [@@deprecated "use Time_extrapolation.predict, which returns (_, Diag.t) result"]
-(** Legacy raising entry point: {!Diag.raise_exn} on [Error] — a
-    no-realistic-fit failure names the workload ([subject]) and the
-    measured window in its message. *)

@@ -1,25 +1,40 @@
 module Diag = Estima.Diag
 
+let version = 2
+
 type request =
   | Predict of {
       id : Json.t;
+      v : int;
       file : string option;
       csv : string option;
       workload : string option;
       spec_name : string option;
       target_max : int option;
       timeout_ms : int option;
+      confidence : int option;
     }
-  | Metrics of { id : Json.t }
-  | Shutdown of { id : Json.t }
+  | Metrics of { id : Json.t; v : int }
+  | Shutdown of { id : Json.t; v : int }
 
 let request_id = function
   | Predict { id; _ } -> id
-  | Metrics { id } -> id
-  | Shutdown { id } -> id
+  | Metrics { id; _ } -> id
+  | Shutdown { id; _ } -> id
+
+let request_version = function
+  | Predict { v; _ } -> v
+  | Metrics { v; _ } -> v
+  | Shutdown { v; _ } -> v
 
 let bad_request id msg =
   Error (id, Diag.make ~stage:Diag.Serve ~subject:"request" (Diag.Parse_error { file = "<wire>"; line = 0; msg }))
+
+(* Version troubles are not parse errors: the line was well-formed JSON,
+   the client just speaks a dialect this server does not.  A typed
+   Bad_config tells it exactly that (exit code 2 on the wire). *)
+let bad_version id what =
+  Error (id, Diag.make ~stage:Diag.Serve ~subject:"request" (Diag.Bad_config { what }))
 
 let member_string json key =
   match Json.member key json with
@@ -43,54 +58,118 @@ let parse_request line =
   | Ok json -> (
       let id = Option.value ~default:Json.Null (Json.member "id" json) in
       let ( let* ) r f = match r with Ok v -> f v | Error msg -> bad_request id msg in
-      let* op = member_string json "op" in
-      match op with
-      | None -> bad_request id "missing \"op\""
-      | Some "metrics" -> Ok (Metrics { id })
-      | Some "shutdown" -> Ok (Shutdown { id })
-      | Some "predict" ->
-          let* file = member_string json "file" in
-          let* csv = member_string json "csv" in
-          let* workload = member_string json "workload" in
-          let* spec_name = member_string json "spec" in
-          let* target_max = member_int json "target_max" in
-          let* timeout_ms = member_int json "timeout_ms" in
-          if file = None && csv = None && workload = None then
-            bad_request id "predict needs \"file\", \"csv\" or \"workload\""
-          else Ok (Predict { id; file; csv; workload; spec_name; target_max; timeout_ms })
-      | Some op -> bad_request id (Printf.sprintf "unknown op %S" op))
+      let* v = member_int json "v" in
+      match v with
+      | Some v when v < 1 || v > version ->
+          bad_version id
+            (Printf.sprintf "unsupported protocol version %d (this server speaks 1..%d)" v
+               version)
+      | _ -> (
+          (* A missing "v" means version 1 semantics: the pre-versioning
+             wire format, byte-unaffected by everything v2 added. *)
+          let v = Option.value ~default:1 v in
+          let* op = member_string json "op" in
+          match op with
+          | None -> bad_request id "missing \"op\""
+          | Some "metrics" -> Ok (Metrics { id; v })
+          | Some "shutdown" -> Ok (Shutdown { id; v })
+          | Some "predict" ->
+              let* file = member_string json "file" in
+              let* csv = member_string json "csv" in
+              let* workload = member_string json "workload" in
+              let* spec_name = member_string json "spec" in
+              let* target_max = member_int json "target_max" in
+              let* timeout_ms = member_int json "timeout_ms" in
+              let* confidence = member_int json "confidence" in
+              if confidence <> None && v < 2 then
+                bad_version id "\"confidence\" requires protocol version 2 (send \"v\":2)"
+              else if file = None && csv = None && workload = None then
+                bad_request id "predict needs \"file\", \"csv\" or \"workload\""
+              else
+                Ok
+                  (Predict
+                     { id; v; file; csv; workload; spec_name; target_max; timeout_ms; confidence })
+          | Some op -> bad_request id (Printf.sprintf "unknown op %S" op)))
 
-let predict_response ~id ~summary ~header ~rows ~verdict =
+(* Responses open with ("id", ...) and — from v2 on — ("v", ...): a v1
+   request (or an unparseable line, which has no version) gets exactly
+   the bytes the unversioned protocol produced. *)
+let base_members ~id ~v rest =
+  ("id", id) :: (if v >= 2 then [ ("v", Json.Int v) ] else []) @ rest
+
+type confidence = {
+  level : float;
+  resamples : int;
+  succeeded : int;
+  seed : int;
+  scaling_fraction : float;
+  verdict : string;
+  stop_lo : int option;
+  stop_hi : int option;
+  p_lo : float list;
+  p50 : float list;
+  p_hi : float list;
+  header : string;
+  rows : string list;
+  verdict_line : string;
+}
+
+let confidence_member c =
+  let opt_int = function None -> Json.Null | Some n -> Json.Int n in
+  let floats xs = Json.List (List.map (fun x -> Json.Float x) xs) in
+  ( "confidence",
+    Json.Obj
+      [
+        ("level", Json.Float c.level);
+        ("resamples", Json.Int c.resamples);
+        ("succeeded", Json.Int c.succeeded);
+        ("seed", Json.Int c.seed);
+        ("scaling_fraction", Json.Float c.scaling_fraction);
+        ("verdict", Json.String c.verdict);
+        ("stop_lo", opt_int c.stop_lo);
+        ("stop_hi", opt_int c.stop_hi);
+        ("p_lo", floats c.p_lo);
+        ("p50", floats c.p50);
+        ("p_hi", floats c.p_hi);
+        ("header", Json.String c.header);
+        ("rows", Json.List (List.map (fun r -> Json.String r) c.rows));
+        ("verdict_line", Json.String c.verdict_line);
+      ] )
+
+let predict_response ~id ~v ~confidence ~summary ~header ~rows ~verdict =
   Json.to_string
     (Json.Obj
-       [
-         ("id", id);
-         ("ok", Json.Bool true);
-         ("summary", Json.String summary);
-         ("header", Json.String header);
-         ("rows", Json.List (List.map (fun r -> Json.String r) rows));
-         ("verdict", Json.String verdict);
-       ])
+       (base_members ~id ~v
+          ([
+             ("ok", Json.Bool true);
+             ("summary", Json.String summary);
+             ("header", Json.String header);
+             ("rows", Json.List (List.map (fun r -> Json.String r) rows));
+             ("verdict", Json.String verdict);
+           ]
+          @ match confidence with None -> [] | Some c -> [ confidence_member c ])))
 
-let metrics_response ~id ~dump =
-  Json.to_string (Json.Obj [ ("id", id); ("ok", Json.Bool true); ("metrics", Json.String dump) ])
+let metrics_response ~id ~v ~dump =
+  Json.to_string
+    (Json.Obj (base_members ~id ~v [ ("ok", Json.Bool true); ("metrics", Json.String dump) ]))
 
-let shutdown_response ~id =
-  Json.to_string (Json.Obj [ ("id", id); ("ok", Json.Bool true); ("bye", Json.Bool true) ])
+let shutdown_response ~v ~id =
+  Json.to_string
+    (Json.Obj (base_members ~id ~v [ ("ok", Json.Bool true); ("bye", Json.Bool true) ]))
 
-let error_response ~id (diag : Diag.t) =
+let error_response ~id ~v (diag : Diag.t) =
   Json.to_string
     (Json.Obj
-       [
-         ("id", id);
-         ("ok", Json.Bool false);
-         ( "error",
-           Json.Obj
-             [
-               ("stage", Json.String (Diag.stage_label diag.Diag.stage));
-               ("subject", Json.String diag.Diag.subject);
-               ("cause", Json.String (Diag.cause_label diag.Diag.cause));
-               ("message", Json.String (Diag.render diag));
-               ("exit_code", Json.Int (Diag.exit_code diag));
-             ] );
-       ])
+       (base_members ~id ~v
+          [
+            ("ok", Json.Bool false);
+            ( "error",
+              Json.Obj
+                [
+                  ("stage", Json.String (Diag.stage_label diag.Diag.stage));
+                  ("subject", Json.String diag.Diag.subject);
+                  ("cause", Json.String (Diag.cause_label diag.Diag.cause));
+                  ("message", Json.String (Diag.render diag));
+                  ("exit_code", Json.Int (Diag.exit_code diag));
+                ] );
+          ]))

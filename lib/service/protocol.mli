@@ -1,16 +1,26 @@
 (** The service wire protocol: newline-delimited JSON, one request and
     one response per line.
 
-    Requests are objects with an ["op"] member and an optional ["id"]
-    (any JSON value, echoed verbatim in the response so clients can
-    pipeline):
+    Requests are objects with an ["op"] member, an optional ["id"] (any
+    JSON value, echoed verbatim in the response so clients can pipeline)
+    and an optional protocol version ["v"]:
 
     {v
 {"id":1,"op":"predict","file":"examples/data/kmeans_opteron.csv"}
-{"id":2,"op":"predict","csv":"threads,time_s,...\n1,..."}
+{"id":2,"v":2,"op":"predict","csv":"threads,time_s,...\n1,...","confidence":100}
 {"id":3,"op":"metrics"}
 {"id":4,"op":"shutdown"}
     v}
+
+    {b Version negotiation.}  A missing ["v"] means version 1: the
+    pre-versioning wire format, and every v1 response is byte-identical
+    to what the unversioned protocol produced — positional clients are
+    unaffected by anything v2 added.  ["v":2] unlocks the v2 members
+    (currently ["confidence"]) and makes every response echo ["v"]:2
+    after the id.  A version outside [1..]{!version} is answered with a
+    typed {!Estima.Diag.Bad_config} (exit code 2), not a parse error:
+    the line was well-formed, the dialect is just unknown — clients can
+    detect the condition and downgrade.
 
     [predict] takes the measurements either as a server-side CSV path
     (["file"]), inline (["csv"]), or as a simulated suite workload
@@ -19,8 +29,10 @@
     [--store DIR] repeated requests read the persisted series instead of
     re-simulating), plus optional ["spec"] (workload name, defaults to
     the file basename), ["target_max"] (defaults to the server's target
-    machine core count) and ["timeout_ms"] (overrides the server's
-    default queue deadline for this request).
+    machine core count), ["timeout_ms"] (overrides the server's default
+    queue deadline for this request) and — v2 only — ["confidence"]
+    (bootstrap resample count, 1..1000: attach p5/p50/p95 confidence
+    bands and a risk-aware verdict to the response).
 
     Successful predict responses carry exactly the text [estima_cli
     predict] prints, split into its parts:
@@ -28,6 +40,15 @@
     {v
 {"id":1,"ok":true,"summary":"...","header":"cores  ...","rows":["    1  ...",...],"verdict":"the application scales"}
     v}
+
+    With ["confidence"] requested, the response additionally carries a
+    ["confidence"] object: the band quantiles as float lists ([p_lo],
+    [p50], [p_hi], one entry per target core count), the stop-point
+    interval ([stop_lo]/[stop_hi], null when every resample scales), the
+    ensemble bookkeeping ([level], [resamples], [succeeded], [seed],
+    [scaling_fraction], [verdict] — "scales"/"stops"/"uncertain") and
+    the rendered text parts ([header], [rows], [verdict_line]) that are
+    byte-identical to [estima_cli predict --confidence] output.
 
     Failures of any kind are a typed {!Estima.Diag.t} on the wire:
 
@@ -44,34 +65,75 @@
     backtrace, the serving process survives and every other request in
     the batch is answered normally). *)
 
+val version : int
+(** The newest protocol version this build speaks (currently 2).
+    Requests may carry any ["v"] from 1 to here. *)
+
 type request =
   | Predict of {
       id : Json.t;
+      v : int;  (** Negotiated protocol version (1 when ["v"] absent). *)
       file : string option;  (** Server-side CSV path. *)
       csv : string option;  (** Inline CSV document (wins over [file] for data). *)
       workload : string option;  (** Suite workload to collect (wins over neither: [csv]/[file] first). *)
       spec_name : string option;
       target_max : int option;
       timeout_ms : int option;
+      confidence : int option;  (** Bootstrap resamples; v2 only. *)
     }
-  | Metrics of { id : Json.t }
-  | Shutdown of { id : Json.t }
+  | Metrics of { id : Json.t; v : int }
+  | Shutdown of { id : Json.t; v : int }
 
 val request_id : request -> Json.t
 
+val request_version : request -> int
+
 val parse_request : string -> (request, Json.t * Estima.Diag.t) result
 (** Parse one request line.  On failure the diagnostic has stage
-    [Serve] and cause {!Estima.Diag.Parse_error}; the returned id is
-    whatever ["id"] member could still be extracted ([Null] otherwise),
-    so the error response can be correlated. *)
+    [Serve] and cause {!Estima.Diag.Parse_error} (malformed request) or
+    {!Estima.Diag.Bad_config} (unsupported ["v"], or a v2-only member on
+    a v1 request); the returned id is whatever ["id"] member could still
+    be extracted ([Null] otherwise), so the error response can be
+    correlated. *)
 
-(** {1 Responses} — already rendered to one line, no trailing newline. *)
+(** {1 Responses} — already rendered to one line, no trailing newline.
+
+    Every builder takes the request's negotiated [~v]; responses echo
+    ["v"] only from 2 on, keeping v1 bytes untouched.  Paths with no
+    negotiated version (unparseable lines, transport-level sheds) pass
+    [~v:1]. *)
+
+type confidence = {
+  level : float;
+  resamples : int;
+  succeeded : int;
+  seed : int;
+  scaling_fraction : float;
+  verdict : string;  (** ["scales"], ["stops"] or ["uncertain"]. *)
+  stop_lo : int option;
+  stop_hi : int option;
+  p_lo : float list;
+  p50 : float list;
+  p_hi : float list;
+  header : string;
+  rows : string list;
+  verdict_line : string;
+}
+(** The wire form of one {!Estima.Api.Confidence.t}, pre-rendered by the
+    server so cache hits replay exact bytes. *)
 
 val predict_response :
-  id:Json.t -> summary:string -> header:string -> rows:string list -> verdict:string -> string
+  id:Json.t ->
+  v:int ->
+  confidence:confidence option ->
+  summary:string ->
+  header:string ->
+  rows:string list ->
+  verdict:string ->
+  string
 
-val metrics_response : id:Json.t -> dump:string -> string
+val metrics_response : id:Json.t -> v:int -> dump:string -> string
 
-val shutdown_response : id:Json.t -> string
+val shutdown_response : v:int -> id:Json.t -> string
 
-val error_response : id:Json.t -> Estima.Diag.t -> string
+val error_response : id:Json.t -> v:int -> Estima.Diag.t -> string

@@ -29,8 +29,23 @@ let default_config ~machine =
 
 (* The cache stores the rendered response parts, not the prediction: a
    hit then replays the exact bytes of the run that filled it, and the
-   byte-identity guarantee needs no argument about re-rendering. *)
-type rendered = { summary : string; rows : string list; verdict : string }
+   byte-identity guarantee needs no argument about re-rendering.  The
+   confidence block (v2 requests that asked for one) is cached the same
+   way; it is part of the cache key, so plain and confidence requests
+   for the same series never collide. *)
+type rendered = {
+  summary : string;
+  rows : string list;
+  verdict : string;
+  confidence : Protocol.confidence option;
+}
+
+(* Server-side bootstrap policy: requests choose only the resample
+   count (capped — each resample is a full pipeline refit); level and
+   seed are fixed so equal requests are byte-identical across servers. *)
+let confidence_level = 0.90
+let confidence_seed = 42
+let max_confidence_resamples = 1000
 
 type fault = Fault_raise of string | Fault_delay of float | Fault_garbage
 
@@ -86,12 +101,13 @@ type job = {
   key : string;
   series : Estima_counters.Series.t;
   target_max : int;
+  confidence : int option;
 }
 
 type slot =
   | Ready of string  (* response already known: parse error, shed, cache hit *)
-  | Run of { id : Json.t; job : job }  (* needs the pipeline *)
-  | Bye of Json.t  (* shutdown acknowledgement, built late *)
+  | Run of { id : Json.t; v : int; job : job }  (* needs the pipeline *)
+  | Bye of { id : Json.t; v : int }  (* shutdown acknowledgement, built late *)
 
 let count t name = Metrics.Counter.incr (Metrics.counter t.registry name) [@@inline]
 
@@ -100,13 +116,13 @@ let observe_latency t arrival =
     (Metrics.histogram t.registry "estima_latency_seconds")
     (Float.max 0.0 (t.clock () -. arrival))
 
-let shed t ~id ~arrival cause counter_name =
+let shed t ~id ~v ~arrival cause counter_name =
   count t counter_name;
   count t "estima_errors_total";
   observe_latency t arrival;
-  Ready (Protocol.error_response ~id (Diag.make ~stage:Diag.Serve ~subject:"request" cause))
+  Ready (Protocol.error_response ~id ~v (Diag.make ~stage:Diag.Serve ~subject:"request" cause))
 
-let cache_key t ~series ~target_max =
+let cache_key t ~series ~target_max ~confidence =
   Digest.to_hex
     (Digest.string
        (String.concat "\n"
@@ -119,6 +135,12 @@ let cache_key t ~series ~target_max =
             Estima_counters.Csv_export.series_to_csv series;
             Config.fingerprint t.config.base;
             Printf.sprintf "target_max=%d" target_max;
+            (* The protocol version is deliberately absent: it only
+               changes the response envelope, which is built per request
+               at respond time — v1 and v2 requests share entries. *)
+            (match confidence with
+            | None -> "confidence=none"
+            | Some n -> Printf.sprintf "confidence=%d" n);
           ]))
 
 (* A "workload" predict collects the named suite workload on the
@@ -155,16 +177,41 @@ let resolve_series t ~(file : string option) ~csv ~workload ~spec_name =
           | Some name -> collect_workload t name
           | None -> assert false (* Protocol.parse_request rejects this shape *)))
 
-let render prediction =
+let confidence_block prediction (c : Api.Confidence.t) =
+  let module C = Api.Confidence in
+  let bands f = Array.to_list (Array.map f c.C.bands) in
+  {
+    Protocol.level = c.C.level;
+    resamples = c.C.resamples;
+    succeeded = c.C.succeeded;
+    seed = c.C.seed;
+    scaling_fraction = c.C.scaling_fraction;
+    verdict =
+      (match c.C.verdict with
+      | C.Scales -> "scales"
+      | C.Stops_at _ -> "stops"
+      | C.Uncertain -> "uncertain");
+    stop_lo = Option.map fst c.C.stop_interval;
+    stop_hi = Option.map snd c.C.stop_interval;
+    p_lo = bands (fun b -> b.C.lo);
+    p50 = bands (fun b -> b.C.median);
+    p_hi = bands (fun b -> b.C.hi);
+    header = Api.confidence_rows_header c;
+    rows = Api.render_confidence_rows prediction c;
+    verdict_line = Api.render_confidence_verdict c;
+  }
+
+let render prediction confidence =
   {
     summary = Api.render_summary prediction;
     rows = Api.render_rows prediction;
     verdict = Api.render_verdict prediction;
+    confidence = Option.map (confidence_block prediction) confidence;
   }
 
-let respond_rendered ~id rendered =
-  Protocol.predict_response ~id ~summary:rendered.summary ~header:Api.rows_header
-    ~rows:rendered.rows ~verdict:rendered.verdict
+let respond_rendered ~id ~v (rendered : rendered) =
+  Protocol.predict_response ~id ~v ~confidence:rendered.confidence ~summary:rendered.summary
+    ~header:Api.rows_header ~rows:rendered.rows ~verdict:rendered.verdict
 
 (* Admission and resolution of one predict request.  [admitted] counts
    predict requests already admitted from this batch — the bounded
@@ -172,36 +219,55 @@ let respond_rendered ~id rendered =
    duplicate payload coalesces onto the in-flight computation and counts
    as a cache hit, so hit/miss counters depend only on the request
    stream, not on how it happened to clump into batches. *)
-let admit t ~admitted ~pending ~id ~file ~csv ~workload ~spec_name ~target_max ~timeout_ms:_
-    ~arrival =
+let admit t ~admitted ~pending ~id ~v ~file ~csv ~workload ~spec_name ~target_max ~timeout_ms:_
+    ~confidence ~arrival =
   count t "estima_predict_total";
   if admitted >= t.config.queue_capacity then
-    shed t ~id ~arrival
+    shed t ~id ~v ~arrival
       (Diag.Overloaded { pending = admitted; capacity = t.config.queue_capacity })
       "estima_shed_overload_total"
   else
-    match resolve_series t ~file ~csv ~workload ~spec_name with
-    | Error diag ->
+    let bad_confidence =
+      match confidence with
+      | Some n when n < 1 || n > max_confidence_resamples ->
+          Some
+            (Diag.make ~stage:Diag.Serve ~subject:"request"
+               (Diag.Bad_config
+                  {
+                    what =
+                      Printf.sprintf "confidence resamples %d (need 1..%d)" n
+                        max_confidence_resamples;
+                  }))
+      | _ -> None
+    in
+    match bad_confidence with
+    | Some diag ->
         count t "estima_errors_total";
         observe_latency t arrival;
-        Ready (Protocol.error_response ~id diag)
-    | Ok series ->
-        let target_max =
-          Option.value ~default:(Topology.cores (target_machine t)) target_max
-        in
-        let key = cache_key t ~series ~target_max in
-        (match Fit_cache.find t.cache key with
-        | Some rendered ->
-            count t "estima_cache_hits_total";
+        Ready (Protocol.error_response ~id ~v diag)
+    | None -> (
+        match resolve_series t ~file ~csv ~workload ~spec_name with
+        | Error diag ->
+            count t "estima_errors_total";
             observe_latency t arrival;
-            Ready (respond_rendered ~id rendered)
-        | None ->
-            if Hashtbl.mem pending key then count t "estima_cache_hits_total"
-            else begin
-              count t "estima_cache_misses_total";
-              Hashtbl.replace pending key ()
-            end;
-            Run { id; job = { arrival; key; series; target_max } })
+            Ready (Protocol.error_response ~id ~v diag)
+        | Ok series ->
+            let target_max =
+              Option.value ~default:(Topology.cores (target_machine t)) target_max
+            in
+            let key = cache_key t ~series ~target_max ~confidence in
+            (match Fit_cache.find t.cache key with
+            | Some rendered ->
+                count t "estima_cache_hits_total";
+                observe_latency t arrival;
+                Ready (respond_rendered ~id ~v rendered)
+            | None ->
+                if Hashtbl.mem pending key then count t "estima_cache_hits_total"
+                else begin
+                  count t "estima_cache_misses_total";
+                  Hashtbl.replace pending key ()
+                end;
+                Run { id; v; job = { arrival; key; series; target_max; confidence } }))
 
 let deadline_of t request_timeout =
   match request_timeout with Some ms -> Some ms | None -> t.config.default_timeout_ms
@@ -213,7 +279,7 @@ let internal_error t ~id ~subject ~arrival exn raw_backtrace =
   count t "estima_internal_errors_total";
   count t "estima_errors_total";
   observe_latency t arrival;
-  Protocol.error_response ~id (Diag.of_exn ~subject exn raw_backtrace)
+  Protocol.error_response ~id ~v:1 (Diag.of_exn ~subject exn raw_backtrace)
 
 let spec_of job = job.series.Estima_counters.Series.spec_name
 
@@ -225,13 +291,25 @@ let run_pipeline t job =
   | Some (Fault_raise msg) -> failwith msg
   | Some (Fault_delay seconds) -> Unix.sleepf seconds
   | Some Fault_garbage | None -> ());
-  Api.predict ~config:t.config.base ~series:job.series ~target_max:job.target_max ()
+  match job.confidence with
+  | None -> (
+      match Api.predict ~config:t.config.base ~series:job.series ~target_max:job.target_max () with
+      | Ok p -> Ok (p, None)
+      | Error _ as e -> e)
+  | Some resamples -> (
+      match
+        Api.predict_with_confidence ~config:t.config.base ~resamples ~level:confidence_level
+          ~seed:confidence_seed ~series:job.series ~target_max:job.target_max ()
+      with
+      | Ok (p, c) -> Ok (p, Some c)
+      | Error _ as e -> e)
 
 let garbage_rendered =
   {
     summary = "\x01garbage summary\x02";
     rows = [ "NaN garbage NaN"; "\xff\xfe" ];
     verdict = "garbage verdict";
+    confidence = None;
   }
 
 let handle_batch t lines =
@@ -246,25 +324,29 @@ let handle_batch t lines =
         | Error (id, diag) ->
             count t "estima_errors_total";
             observe_latency t arrival;
-            Ready (Protocol.error_response ~id diag)
-        | Ok (Protocol.Metrics { id }) ->
+            (* Parse and version failures have no negotiated version, so
+               the error keeps the v1 envelope. *)
+            Ready (Protocol.error_response ~id ~v:1 diag)
+        | Ok (Protocol.Metrics { id; v }) ->
             (* The server's own counters plus the shared measurement
                store's (estima_store_*_total) in one dump. *)
             let dump =
               Metrics.render t.registry
               ^ Metrics.render (Estima_store.Store.metrics (Estima_store.Store.default ()))
             in
-            Ready (Protocol.metrics_response ~id ~dump)
-        | Ok (Protocol.Shutdown { id }) ->
+            Ready (Protocol.metrics_response ~id ~v ~dump)
+        | Ok (Protocol.Shutdown { id; v }) ->
             shutdown_seen := true;
-            Bye id
-        | Ok (Protocol.Predict { id; file; csv; workload; spec_name; target_max; timeout_ms }) ->
+            Bye { id; v }
+        | Ok
+            (Protocol.Predict
+              { id; v; file; csv; workload; spec_name; target_max; timeout_ms; confidence }) ->
             let slot =
-              admit t ~admitted:!admitted ~pending ~id ~file ~csv ~workload ~spec_name
-                ~target_max ~timeout_ms ~arrival
+              admit t ~admitted:!admitted ~pending ~id ~v ~file ~csv ~workload ~spec_name
+                ~target_max ~timeout_ms ~confidence ~arrival
             in
             (match slot with
-            | Run { id; job } -> (
+            | Run { id; v; job } -> (
                 incr admitted;
                 (* Deadline check happens when the dispatcher is about to
                    hand the job to the pool — i.e. now, after the queue
@@ -275,11 +357,11 @@ let handle_batch t lines =
                       int_of_float (Float.ceil ((t.clock () -. job.arrival) *. 1000.0))
                     in
                     if waited_ms > timeout_ms then
-                      shed t ~id ~arrival:job.arrival
+                      shed t ~id ~v ~arrival:job.arrival
                         (Diag.Deadline_exceeded { waited_ms; timeout_ms })
                         "estima_shed_deadline_total"
-                    else Run { id; job }
-                | None -> Run { id; job })
+                    else Run { id; v; job }
+                | None -> Run { id; v; job })
             | slot -> slot)
   in
   let slots =
@@ -301,18 +383,34 @@ let handle_batch t lines =
   List.iter (fun job -> if not (Hashtbl.mem unique job.key) then Hashtbl.add unique job.key job) pending;
   let jobs = Array.of_list (Hashtbl.fold (fun _ job acc -> job :: acc) unique []) in
   Array.sort (fun a b -> String.compare a.key b.key) jobs;
-  let outcomes = Estima_par.Pool.run t.pool jobs ~f:(run_pipeline t) in
+  let outcomes =
+    Estima_par.Pool.run t.pool jobs ~f:(fun job ->
+        let t0 = t.clock () in
+        let result = run_pipeline t job in
+        (result, Float.max 0.0 (t.clock () -. t0)))
+  in
   (* Crash containment: a worker exception is an outcome, not a batch
      failure.  Pool.run already captured exception and backtrace per
      task; map each to a typed [internal] diagnostic charged to the jobs
      that coalesced onto that key — every other slot proceeds untouched,
      and the pool itself is unharmed (it runs every task to completion
-     and stays usable; see Pool.run's contract). *)
+     and stays usable; see Pool.run's contract).  Confidence metrics are
+     recorded here, on the dispatcher, once per unique computed job —
+     coalesced duplicates and cache hits do not re-count resamples. *)
   let results = Hashtbl.create 16 in
   Array.iteri
     (fun i outcome ->
       match outcome with
-      | Ok result -> Hashtbl.replace results jobs.(i).key result
+      | Ok (result, elapsed) ->
+          (match result with
+          | Ok (_, Some (c : Api.Confidence.t)) ->
+              Metrics.Counter.incr ~by:c.Api.Confidence.resamples
+                (Metrics.counter t.registry "estima_confidence_resamples_total");
+              Metrics.Histogram.observe
+                (Metrics.histogram t.registry "estima_confidence_seconds")
+                elapsed
+          | _ -> ());
+          Hashtbl.replace results jobs.(i).key result
       | Error (exn, bt) ->
           Hashtbl.replace results jobs.(i).key
             (Error (Diag.of_exn ~subject:(spec_of jobs.(i)) exn bt)))
@@ -321,22 +419,22 @@ let handle_batch t lines =
   let build slot =
     match slot with
     | Ready response -> response
-    | Bye id -> Protocol.shutdown_response ~id
-    | Run { id; job } -> (
+    | Bye { id; v } -> Protocol.shutdown_response ~v ~id
+    | Run { id; v; job } -> (
         match Hashtbl.find results job.key with
-        | Ok prediction ->
+        | Ok (prediction, confidence) ->
             if Hashtbl.find_opt t.faults (spec_of job) = Some Fault_garbage then begin
               (* Injected garbage is served (that is the fault being
                  simulated) but never cached: the cache must stay clean
                  for the same key once the fault is cleared. *)
               observe_latency t job.arrival;
-              respond_rendered ~id garbage_rendered
+              respond_rendered ~id ~v garbage_rendered
             end
             else begin
-              let rendered = render prediction in
+              let rendered = render prediction confidence in
               Fit_cache.add t.cache job.key rendered;
               observe_latency t job.arrival;
-              respond_rendered ~id rendered
+              respond_rendered ~id ~v rendered
             end
         | Error diag ->
             (* Internal errors are counted here, per request slot, so
@@ -349,7 +447,7 @@ let handle_batch t lines =
             | _ -> ());
             count t "estima_errors_total";
             observe_latency t job.arrival;
-            Protocol.error_response ~id diag)
+            Protocol.error_response ~id ~v diag)
   in
   let responses =
     List.map
@@ -358,7 +456,9 @@ let handle_batch t lines =
         | response -> response
         | exception exn ->
             let bt = Printexc.get_raw_backtrace () in
-            let id = match slot with Run { id; _ } -> id | Bye id -> id | Ready _ -> Json.Null in
+            let id =
+              match slot with Run { id; _ } -> id | Bye { id; _ } -> id | Ready _ -> Json.Null
+            in
             internal_error t ~id ~subject:"request" ~arrival exn bt)
       slots
   in

@@ -32,7 +32,7 @@ let count server name =
 let frame_too_large server ~buffered ~limit =
   count server "estima_frame_too_large_total";
   count server "estima_errors_total";
-  Protocol.error_response ~id:Json.Null
+  Protocol.error_response ~id:Json.Null ~v:1
     (Diag.make ~stage:Diag.Serve ~subject:"connection"
        (Diag.Frame_too_large { buffered; limit }))
 
@@ -190,7 +190,7 @@ let serve_socket ?(max_buffer_bytes = default_max_buffer_bytes)
       (try
          write_responses client
            [
-             Protocol.error_response ~id:Json.Null
+             Protocol.error_response ~id:Json.Null ~v:1
                (Diag.make ~stage:Diag.Serve ~subject:"connection"
                   (Diag.Overloaded
                      { pending = Hashtbl.length connections; capacity = max_connections }));

@@ -12,6 +12,9 @@ type options = {
   serve_bin : string option;
   work_dir : string option;
   perturb : bool;
+  calibration : bool;
+  calibration_resamples : int;
+  perturb_calibration : bool;
 }
 
 let default_options ~golden_dir =
@@ -26,6 +29,9 @@ let default_options ~golden_dir =
     serve_bin = None;
     work_dir = None;
     perturb = false;
+    calibration = false;
+    calibration_resamples = Calibration.default_resamples;
+    perturb_calibration = false;
   }
 
 type outcome = {
@@ -35,6 +41,7 @@ type outcome = {
   golden_mismatches : string list;
   differential_ran : bool;
   differential_mismatches : string list;
+  calibration : Calibration.t option;
   blessed : string list;
   passed : bool;
 }
@@ -120,6 +127,7 @@ let run options =
         golden_mismatches = invariant_mismatch;
         differential_ran = false;
         differential_mismatches = [];
+        calibration = None;
         blessed;
         passed = summary.Report.invariant_ok;
       }
@@ -141,6 +149,33 @@ let run options =
         | Error mismatches -> mismatches
       end
     in
+    (* The calibration invariant: held-out coverage of the 90% bands.
+       Always scored on the honest sources — --perturb skews the point
+       predictions, which is the accuracy gate's business;
+       --perturb-calibration shrinks the bootstrap's residuals instead,
+       which only this check can catch. *)
+    let* calibration =
+      if not (options.calibration || options.perturb_calibration) then Ok None
+      else
+        let residual_scale = if options.perturb_calibration then 0.02 else 1.0 in
+        match
+          Calibration.run ~resamples:options.calibration_resamples ~residual_scale sources
+        with
+        | Ok c -> Ok (Some c)
+        | Error d -> Error d
+    in
+    let calibration_mismatch =
+      match calibration with
+      | Some c when not c.Calibration.passed ->
+          [
+            Printf.sprintf
+              "calibration: %.1f%% of held-out points inside the %g%% band (need %.0f%%)"
+              (100.0 *. c.Calibration.coverage)
+              (100.0 *. c.Calibration.level)
+              (100.0 *. c.Calibration.threshold);
+          ]
+      | _ -> []
+    in
     Ok
       {
         reports;
@@ -149,8 +184,10 @@ let run options =
         golden_mismatches;
         differential_ran = options.differential;
         differential_mismatches;
+        calibration;
         blessed = [];
-        passed = golden_mismatches = [] && differential_mismatches = [];
+        passed =
+          golden_mismatches = [] && differential_mismatches = [] && calibration_mismatch = [];
       }
 
 let render_text outcome =
@@ -178,6 +215,11 @@ let render_text outcome =
   | ms ->
       Buffer.add_string buf "differential mismatches:\n";
       List.iter (fun m -> Buffer.add_string buf ("  " ^ m ^ "\n")) ms);
+  (match outcome.calibration with
+  | None -> ()
+  | Some c ->
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (Calibration.render_lines c));
   Buffer.add_string buf (if outcome.passed then "\nvalidate: PASS\n" else "\nvalidate: FAIL\n");
   Buffer.contents buf
 
@@ -193,6 +235,8 @@ let json_of_outcome outcome =
       ("differential_ran", Json.Bool outcome.differential_ran);
       ( "differential_mismatches",
         Json.List (List.map (fun m -> Json.String m) outcome.differential_mismatches) );
+      ( "calibration",
+        match outcome.calibration with None -> Json.Null | Some c -> Calibration.to_json c );
       ("blessed", Json.List (List.map (fun p -> Json.String p) outcome.blessed));
       ("passed", Json.Bool outcome.passed);
     ]

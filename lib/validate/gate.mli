@@ -23,6 +23,14 @@ type options = {
       (** DEV ONLY: swap every fit kernel for a deliberately skewed
           variant, to prove the gate catches an engine regression.  A
           perturbed run must fail against honest golden files. *)
+  calibration : bool;
+      (** Also score the bootstrap confidence bands' held-out coverage
+          ({!Calibration.run}) and gate on it. *)
+  calibration_resamples : int;  (** {!Calibration.default_resamples}. *)
+  perturb_calibration : bool;
+      (** DEV ONLY: shrink the bootstrap residuals so the bands are
+          deliberately overconfident — the calibration check must then
+          fail.  Implies [calibration]. *)
 }
 
 val default_options : golden_dir:string -> options
@@ -38,10 +46,13 @@ type outcome = {
   golden_mismatches : string list;
   differential_ran : bool;  (** False in bless mode or under [--no-differential]. *)
   differential_mismatches : string list;
+  calibration : Calibration.t option;
+      (** The band-coverage check, when [calibration] (or
+          [perturb_calibration]) was set; [None] in bless mode. *)
   blessed : string list;  (** Paths written in bless mode. *)
   passed : bool;
       (** Bless mode: the invariant held.  Compare mode: additionally no
-          golden or differential mismatch. *)
+          golden, differential or calibration mismatch. *)
 }
 
 val run : options -> (outcome, Estima.Diag.t) result

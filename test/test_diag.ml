@@ -1,13 +1,7 @@
 (* Tests for the structured diagnostics layer and external measurement
    ingestion: Diag rendering, labels and exit codes; every typed cause
    reachable through a public pipeline entry point; the CSV round-trip
-   guarantee of Series_io; report-file scanning edge cases; and the
-   grep-enforced no-raise policy for the staged pipeline sources. *)
-
-(* The deprecated [_exn] shims are exercised on purpose below, to pin
-   their exception classes until they are removed. *)
-[@@@alert "-deprecated"]
-[@@@warning "-3"]
+   guarantee of Series_io; and report-file scanning edge cases. *)
 
 open Estima_machine
 open Estima_workloads
@@ -74,19 +68,6 @@ let test_render_format () =
       check_contains label ~sub:"estima: [extrapolate] genome: " rendered)
     every_cause
 
-let test_raise_exn_classes () =
-  let no_fit = Diag.make ~stage:Diag.Extrapolate ~subject:"s" (Diag.No_realistic_fit { window = 8 }) in
-  (match Diag.raise_exn no_fit with
-  | _ -> Alcotest.fail "raise_exn returned"
-  | exception Failure msg -> Alcotest.(check string) "Failure carries render" (Diag.render no_fit) msg
-  | exception _ -> Alcotest.fail "no-realistic-fit must raise Failure");
-  let bad = Diag.make ~stage:Diag.Collect ~subject:"s" (Diag.Bad_config { what = "w" }) in
-  match Diag.raise_exn bad with
-  | _ -> Alcotest.fail "raise_exn returned"
-  | exception Invalid_argument msg ->
-      Alcotest.(check string) "Invalid_argument carries render" (Diag.render bad) msg
-  | exception _ -> Alcotest.fail "bad input must raise Invalid_argument"
-
 (* ------------------------------------------------------------------ *)
 (* Every cause through a public entry point                            *)
 (* ------------------------------------------------------------------ *)
@@ -108,11 +89,7 @@ let test_no_fit_names_workload_and_window () =
   Alcotest.(check int) "exit code 3" 3 (Diag.exit_code d);
   let msg = Diag.render d in
   check_contains "workload named" ~sub:"genome" msg;
-  check_contains "window named" ~sub:"3 cores" msg;
-  (* The raising wrapper carries the same message. *)
-  match Time_extrapolation.predict_exn ~subject:"genome" ~threads ~times ~target_max:48 () with
-  | _ -> Alcotest.fail "negative series fitted by _exn"
-  | exception Failure m -> Alcotest.(check string) "exn message" msg m
+  check_contains "window named" ~sub:"3 cores" msg
 
 let test_short_series_cause () =
   let d = cause_of "empty" (Time_extrapolation.predict ~threads:[||] ~times:[||] ~target_max:8 ()) in
@@ -358,59 +335,10 @@ let test_attach_software_error_paths () =
   in
   Alcotest.(check string) "duplicate category" "bad-config" (Diag.cause_label d.Diag.cause)
 
-(* ------------------------------------------------------------------ *)
-(* No raises on the pipeline path (grep-enforced)                      *)
-(* ------------------------------------------------------------------ *)
-
-let staged_pipeline_sources =
-  [
-    "approximation.ml";
-    "extrapolation.ml";
-    "scaling_factor.ml";
-    "time_extrapolation.ml";
-    "predictor.ml";
-    "experiment.ml";
-  ]
-
-let test_staged_sources_raise_only_through_shims () =
-  (* The refactor's contract: staged pipeline stages report failures as
-     [Diag.t] results.  Any surviving raise in their sources must be part
-     of a legacy [_exn] shim and say so with an [(* exn-shim *)] marker on
-     the same line — so a new bare [failwith] fails this test. *)
-  (* cwd is _build/default/test under `dune runtest` but the workspace
-     root under `dune exec`; probe both layouts. *)
-  let core_dir =
-    match List.find_opt Sys.file_exists [ "../lib/core"; "lib/core" ] with
-    | Some dir -> dir
-    | None -> Alcotest.fail "lib/core not reachable from the test's working directory"
-  in
-  List.iter
-    (fun file ->
-      let path = Filename.concat core_dir file in
-      let ic = open_in path in
-      Fun.protect
-        ~finally:(fun () -> close_in ic)
-        (fun () ->
-          let line_no = ref 0 in
-          try
-            while true do
-              let line = input_line ic in
-              incr line_no;
-              let raising =
-                contains ~sub:"failwith" line || contains ~sub:"invalid_arg" line
-                || contains ~sub:"raise" line
-              in
-              if raising && not (contains ~sub:"exn-shim" line) then
-                Alcotest.failf "%s:%d raises without an exn-shim marker: %s" file !line_no line
-            done
-          with End_of_file -> ()))
-    staged_pipeline_sources
-
 let suite =
   [
     ("cause labels and exit codes", `Quick, test_labels_and_exit_codes);
     ("render format", `Quick, test_render_format);
-    ("raise_exn exception classes", `Quick, test_raise_exn_classes);
     ("no-fit names workload and window", `Quick, test_no_fit_names_workload_and_window);
     ("short series cause", `Quick, test_short_series_cause);
     ("mismatched lengths cause", `Quick, test_mismatched_lengths_cause);
@@ -429,5 +357,4 @@ let suite =
     ("scan rejects bad expressions", `Quick, test_scan_rejects_bad_expressions);
     ("attach software values in order", `Quick, test_attach_software_values_in_order);
     ("attach software error paths", `Quick, test_attach_software_error_paths);
-    ("staged sources raise only through shims", `Quick, test_staged_sources_raise_only_through_shims);
   ]

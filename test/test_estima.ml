@@ -1,11 +1,6 @@
 (* Tests for the ESTIMA core pipeline: approximation, extrapolation,
    scaling factor, predictor, baseline, errors, bottlenecks, experiment. *)
 
-(* The deprecated [_exn] shims are exercised on purpose below, to pin
-   their exception classes until they are removed. *)
-[@@@alert "-deprecated"]
-[@@@warning "-3"]
-
 open Estima_machine
 open Estima_workloads
 open Estima_counters
@@ -87,15 +82,7 @@ let test_approximate_rejects_bad_config () =
   expect_cause "bad config refused" "bad-config"
     (Approximation.approximate
        ~config:{ Approximation.default_config with Approximation.checkpoints = 0; min_prefix = 3 }
-       ~xs:[| 1.0 |] ~ys:[| 1.0 |] ~target_max:4.0 ~require_nonnegative:false ());
-  (* The legacy wrapper still raises for scripts on the old API. *)
-  try
-    ignore
-      (Approximation.approximate_exn
-         ~config:{ Approximation.default_config with Approximation.checkpoints = 0; min_prefix = 3 }
-         ~xs:[| 1.0 |] ~ys:[| 1.0 |] ~target_max:4.0 ~require_nonnegative:false ());
-    Alcotest.fail "bad config accepted by _exn"
-  with Invalid_argument _ -> ()
+       ~xs:[| 1.0 |] ~ys:[| 1.0 |] ~target_max:4.0 ~require_nonnegative:false ())
 
 (* ------------------------------------------------------------------ *)
 (* Extrapolation                                                       *)
@@ -163,14 +150,7 @@ let test_extrapolation_empty_series_rejected () =
         scan 0
       in
       Alcotest.(check bool) (Printf.sprintf "message %S names the problem" msg) true
-        (contains "too short"));
-  (* The legacy wrapper converts the diagnostic back to an exception. *)
-  try
-    ignore
-      (Extrapolation.extrapolate_exn ~series:empty ~target_max:8 ~include_software:false
-         ~include_frontend:false ());
-    Alcotest.fail "empty series accepted by _exn"
-  with Invalid_argument _ -> ()
+        (contains "too short"))
 
 let synthetic_sample ~threads ~counters ~software =
   {
@@ -356,15 +336,7 @@ let test_scaling_factor_rejects_nonpositive_stalls () =
   expect_cause "zero stalls refused" "bad-value"
     (Scaling_factor.fit ~threads:[| 1.0; 2.0 |] ~times:[| 1.0; 1.0 |]
        ~stalls_per_core_measured:[| 1.0; 0.0 |] ~stalls_per_core_grid:[| 1.0; 1.0 |]
-       ~target_grid:[| 1.0; 2.0 |] ());
-  (* The legacy wrapper still raises for scripts on the old API. *)
-  try
-    ignore
-      (Scaling_factor.fit_exn ~threads:[| 1.0; 2.0 |] ~times:[| 1.0; 1.0 |]
-         ~stalls_per_core_measured:[| 1.0; 0.0 |] ~stalls_per_core_grid:[| 1.0; 1.0 |]
-         ~target_grid:[| 1.0; 2.0 |] ());
-    Alcotest.fail "accepted zero stalls via _exn"
-  with Invalid_argument _ -> ()
+       ~target_grid:[| 1.0; 2.0 |] ())
 
 (* ------------------------------------------------------------------ *)
 (* Predictor                                                           *)
@@ -436,15 +408,7 @@ let test_predictor_invalid_config () =
   expect_cause "zero frequency scale refused" "bad-config"
     (Predictor.predict
        ~config:{ Predictor.default_config with Predictor.frequency_scale = 0.0 }
-       ~series ~target_max:48 ());
-  (* The legacy wrapper still raises for scripts on the old API. *)
-  try
-    ignore
-      (Predictor.predict_exn
-         ~config:{ Predictor.default_config with Predictor.frequency_scale = 0.0 }
-         ~series ~target_max:48 ());
-    Alcotest.fail "zero frequency scale accepted by _exn"
-  with Invalid_argument _ -> ()
+       ~series ~target_max:48 ())
 
 (* ------------------------------------------------------------------ *)
 (* Time extrapolation baseline                                         *)

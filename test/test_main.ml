@@ -10,6 +10,7 @@ let () =
       ("counters", Test_counters.suite);
       ("workloads", Test_workloads.suite);
       ("estima", Test_estima.suite);
+      ("confidence", Test_confidence.suite);
       ("diag", Test_diag.suite);
       ("obs", Test_obs.suite);
       ("par", Test_par.suite);

@@ -273,10 +273,13 @@ let collect_csv ?(max = 12) name =
   in
   Csv_export.series_to_csv series
 
-let predict_line ?(id = 1) csv =
+let predict_line ?(id = 1) ?v ?confidence csv =
   Json.to_string
     (Json.Obj
-       [ ("id", Json.Int id); ("op", Json.String "predict"); ("csv", Json.String csv) ])
+       ([ ("id", Json.Int id); ("op", Json.String "predict") ]
+       @ (match v with None -> [] | Some v -> [ ("v", Json.Int v) ])
+       @ (match confidence with None -> [] | Some n -> [ ("confidence", Json.Int n) ])
+       @ [ ("csv", Json.String csv) ]))
 
 let make_server ?clock ?(jobs = 1) ?(queue = 64) ?(cache = 16) ?timeout_ms () =
   Server.create ?clock
@@ -347,6 +350,100 @@ let test_server_jobs_byte_identical () =
   in
   let run jobs = with_server ~jobs (fun server -> fst (Server.handle_batch server payloads)) in
   Alcotest.(check (list string)) "jobs=1 vs jobs=4" (run 1) (run 4)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol version negotiation (v1 default, v2 opt-in)                *)
+(* ------------------------------------------------------------------ *)
+
+let parse_response r =
+  match Json.parse r with
+  | Ok json -> json
+  | Error e -> Alcotest.failf "unparseable response %s: %s" r e
+
+let test_protocol_v1_bytes_unchanged () =
+  (* A request without "v" negotiates v1: the response carries no "v"
+     member and no "confidence" member — existing clients see the exact
+     pre-v2 wire format. *)
+  let csv = collect_csv "kmeans" in
+  with_server (fun server ->
+      let responses, _ = Server.handle_batch server [ predict_line csv ] in
+      let json = parse_response (List.hd responses) in
+      Alcotest.(check bool) "no v member" true (Json.member "v" json = None);
+      Alcotest.(check bool) "no confidence member" true (Json.member "confidence" json = None))
+
+let test_protocol_v2_echoes_version () =
+  let csv = collect_csv "kmeans" in
+  with_server (fun server ->
+      let responses, _ =
+        Server.handle_batch server [ predict_line ~v:2 csv; predict_line ~id:2 csv ]
+      in
+      match List.map parse_response responses with
+      | [ v2; v1 ] ->
+          Alcotest.(check (option int)) "v2 echoed" (Some 2)
+            (Option.bind (Json.member "v" v2) Json.to_int_opt);
+          Alcotest.(check bool) "v1 reply to the same series has no v" true
+            (Json.member "v" v1 = None)
+      | _ -> Alcotest.fail "expected two responses")
+
+let test_protocol_rejects_unknown_version () =
+  let csv = collect_csv "kmeans" in
+  with_server (fun server ->
+      let responses, _ = Server.handle_batch server [ predict_line ~v:3 csv ] in
+      match error_cause (List.hd responses) with
+      | Some ("bad-config", 2) -> ()
+      | other ->
+          Alcotest.failf "expected bad-config/2, got %s"
+            (match other with Some (c, n) -> Printf.sprintf "%s/%d" c n | None -> "ok"))
+
+let test_protocol_confidence_requires_v2 () =
+  let csv = collect_csv "kmeans" in
+  with_server (fun server ->
+      let responses, _ = Server.handle_batch server [ predict_line ~confidence:20 csv ] in
+      let r = List.hd responses in
+      (match error_cause r with
+      | Some ("bad-config", 2) -> ()
+      | _ -> Alcotest.failf "expected bad-config/2, got %s" r);
+      match Json.member "error" (parse_response r) with
+      | Some err ->
+          let msg = Option.get (Option.bind (Json.member "message" err) Json.to_string_opt) in
+          if not (String.length msg > 0 && String.index_opt msg '2' <> None) then
+            Alcotest.failf "rejection should name protocol version 2: %s" msg
+      | None -> Alcotest.fail "no error member")
+
+let test_protocol_v2_confidence_block () =
+  let csv = collect_csv "kmeans" in
+  with_server (fun server ->
+      let responses, _ =
+        Server.handle_batch server [ predict_line ~v:2 ~confidence:20 csv ]
+      in
+      let json = parse_response (List.hd responses) in
+      match Json.member "confidence" json with
+      | None -> Alcotest.failf "no confidence member in %s" (List.hd responses)
+      | Some c ->
+          let int k = Option.get (Option.bind (Json.member k c) Json.to_int_opt) in
+          Alcotest.(check int) "resamples" 20 (int "resamples");
+          Alcotest.(check int) "succeeded" 20 (int "succeeded");
+          Alcotest.(check int) "seed" 42 (int "seed");
+          (match Json.member "p50" c with
+          | Some (Json.List xs) -> Alcotest.(check int) "48 p50 points" 48 (List.length xs)
+          | _ -> Alcotest.fail "no p50 list");
+          let verdict = Option.get (Option.bind (Json.member "verdict" c) Json.to_string_opt) in
+          if not (List.mem verdict [ "scales"; "stops"; "uncertain" ]) then
+            Alcotest.failf "unexpected verdict %s" verdict)
+
+let test_protocol_confidence_cache_distinct () =
+  (* The same series with and without confidence must not share a cache
+     entry: the plain entry has no bands to serve, the confidence entry
+     costs resamples the plain request never asked for. *)
+  let csv = collect_csv "kmeans" in
+  with_server (fun server ->
+      let _ = Server.handle_batch server [ predict_line csv ] in
+      let responses, _ = Server.handle_batch server [ predict_line ~v:2 ~confidence:10 csv ] in
+      Alcotest.(check int) "two misses" 2 (counter_value server "estima_cache_misses_total");
+      Alcotest.(check bool) "confidence present" true
+        (Json.member "confidence" (parse_response (List.hd responses)) <> None);
+      Alcotest.(check int) "resamples metered" 10
+        (counter_value server "estima_confidence_resamples_total"))
 
 let test_server_queue_full () =
   (* Four distinct payloads (duplicates would coalesce instead of
@@ -643,6 +740,12 @@ let suite =
     ("server rejects unparseable requests", `Quick, test_server_parse_error);
     ("server cache hit/miss counters and identity", `Quick, test_server_cache_and_identity);
     ("server responses byte-identical across jobs", `Quick, test_server_jobs_byte_identical);
+    ("protocol v1 bytes unchanged", `Quick, test_protocol_v1_bytes_unchanged);
+    ("protocol v2 echoes version", `Quick, test_protocol_v2_echoes_version);
+    ("protocol rejects unknown version", `Quick, test_protocol_rejects_unknown_version);
+    ("protocol confidence requires v2", `Quick, test_protocol_confidence_requires_v2);
+    ("protocol v2 confidence block", `Quick, test_protocol_v2_confidence_block);
+    ("protocol confidence cache distinct", `Quick, test_protocol_confidence_cache_distinct);
     ("server sheds on a full queue", `Quick, test_server_queue_full);
     ("server sheds on a blown deadline", `Quick, test_server_deadline);
     ("server metrics and shutdown", `Quick, test_server_shutdown_and_metrics);

@@ -141,9 +141,18 @@ let test_first_divergence () =
    warms the Lab cache for the differential test below. *)
 let subset = [ "kmeans"; "swaptions"; "yada" ]
 
-let run_gate ?(perturb = false) ?(differential = false) names =
+let run_gate ?(perturb = false) ?(differential = false) ?(calibration = false)
+    ?(calibration_resamples = Calibration.default_resamples) ?(perturb_calibration = false) names =
   let options =
-    { (Gate.default_options ~golden_dir:"golden") with Gate.names; differential; perturb }
+    {
+      (Gate.default_options ~golden_dir:"golden") with
+      Gate.names;
+      differential;
+      perturb;
+      calibration;
+      calibration_resamples;
+      perturb_calibration;
+    }
   in
   match Gate.run options with
   | Ok outcome -> outcome
@@ -214,6 +223,38 @@ let test_perturbed_engine_fails_gate () =
   Alcotest.(check bool) "perturbed gate fails" false outcome.Gate.passed;
   Alcotest.(check bool) "with explicit mismatches" true (outcome.Gate.golden_mismatches <> [])
 
+let test_calibration_passes_on_honest_bands () =
+  (* Honest bootstrap bands over the held-out region must cover at
+     least the blessed fraction of the truth — the tentpole's
+     quantitative acceptance criterion, on a subset for test speed. *)
+  let outcome = run_gate ~calibration:true ~calibration_resamples:30 subset in
+  match outcome.Gate.calibration with
+  | None -> Alcotest.fail "calibration requested but not run"
+  | Some c ->
+      Alcotest.(check bool) "gate passes" true outcome.Gate.passed;
+      Alcotest.(check bool) "coverage above threshold" true c.Calibration.passed;
+      Alcotest.(check int) "three workloads scored" 3 (List.length c.Calibration.workloads);
+      Alcotest.(check int) "held-out points" (3 * (48 - 12)) c.Calibration.held_out;
+      List.iter
+        (fun (w : Calibration.workload) ->
+          if w.Calibration.coverage < 0.0 || w.Calibration.coverage > 1.0 then
+            Alcotest.failf "%s: coverage %g outside [0,1]" w.Calibration.name
+              w.Calibration.coverage)
+        c.Calibration.workloads
+
+let test_miscalibrated_bands_fail_gate () =
+  (* Collapse the resampled residuals so the bands become implausibly
+     narrow: coverage must crater and the gate must FAIL.  This is the
+     CI must-fail step, in-process. *)
+  let outcome = run_gate ~perturb_calibration:true ~calibration_resamples:30 subset in
+  Alcotest.(check bool) "miscalibrated gate fails" false outcome.Gate.passed;
+  match outcome.Gate.calibration with
+  | None -> Alcotest.fail "perturb_calibration should force a calibration run"
+  | Some c ->
+      Alcotest.(check bool) "coverage below threshold" false c.Calibration.passed;
+      Alcotest.(check bool) "strictly worse than the blessed threshold" true
+        (c.Calibration.coverage < c.Calibration.threshold)
+
 let suite =
   [
     ("verdict <-> json strings", `Quick, test_verdict_strings);
@@ -225,4 +266,6 @@ let suite =
     ("blessed summary upholds the T4 invariant", `Quick, test_blessed_summary_upholds_invariant);
     ("cli/api/server differential at jobs 1 and 4", `Slow, test_differential_byte_identity);
     ("perturbed engine fails the gate", `Slow, test_perturbed_engine_fails_gate);
+    ("calibration passes on honest bands", `Slow, test_calibration_passes_on_honest_bands);
+    ("miscalibrated bands fail the gate", `Slow, test_miscalibrated_bands_fail_gate);
   ]
