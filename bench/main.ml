@@ -25,7 +25,13 @@
                                       measurement store) then warm (same
                                       store dir), check byte-identity, and
                                       write BENCH_sim.json (default set:
-                                      F1 F2 F5) *)
+                                      F1 F2 F5)
+     bench/main.exe --serve-scaling   spawn estima_serve --tcp per cell of
+                                      a jobs x clients grid, play a seeded
+                                      Estima_load plan closed-loop with
+                                      byte-exact verification, and write
+                                      BENCH_serve.json (throughput, p50/
+                                      p90/p99/max latency per cell) *)
 
 open Estima_machine
 open Estima_sim
@@ -325,6 +331,93 @@ let sim_scaling ids =
   Printf.printf "wrote BENCH_sim.json\n%!";
   if not all_identical then exit 1
 
+(* ------------------------- serving scaling ------------------------ *)
+
+(* Throughput and tail latency of estima_serve over TCP, across a jobs ×
+   clients grid: for each cell a fresh server is spawned on a
+   kernel-assigned port, a seeded Estima_load plan is played closed-loop
+   against it, and every response is verified byte-for-byte — a cell
+   only contributes numbers if it is also correct.  BENCH_serve.json is
+   the trajectory file tail-latency regressions show up in. *)
+let serve_scaling () =
+  let module Generator = Estima_load.Generator in
+  let module Driver = Estima_load.Driver in
+  let module Report = Estima_load.Report in
+  let exe =
+    match Driver.locate_serve_exe () with
+    | Some exe -> exe
+    | None ->
+        prerr_endline "serve-scaling: cannot find estima_serve.exe next to bench/main.exe";
+        exit 1
+  in
+  let machine = Machines.restrict_sockets Machines.opteron48 ~sockets:1 in
+  let target = Machines.opteron48 in
+  let base = Config.make ~measured_on:machine ~target () in
+  let payloads = Generator.suite_payloads ~machine [ "kmeans" ] in
+  let requests_per_client = 15 in
+  let jobs_settings = [ 1; 4 ] in
+  let client_settings = [ 1; 2; 4 ] in
+  Estima_repro.Render.heading "[BENCH] estima_serve TCP throughput and tail latency";
+  Printf.printf "requests/client: %d, payloads: kmeans, closed loop\n\n" requests_per_client;
+  let cells =
+    List.concat_map
+      (fun jobs ->
+        List.map
+          (fun clients ->
+            let plan =
+              Generator.plan ~payloads ~machine ~target ~base ~seed:42 ~clients
+                ~requests_per_client ()
+            in
+            let server =
+              Driver.spawn_tcp_server ~exe ~args:[ "--jobs"; string_of_int jobs ] ()
+            in
+            let outcome =
+              Fun.protect
+                ~finally:(fun () -> Driver.stop_server server)
+                (fun () ->
+                  Driver.run
+                    (Driver.Tcp { host = server.Driver.host; port = server.Driver.port })
+                    plan)
+            in
+            let report = Report.make plan outcome in
+            let q p =
+              Estima_obs.Metrics.Histogram.snapshot_quantile report.Report.latency p
+            in
+            let max_s = report.Report.latency.Estima_obs.Metrics.Histogram.max in
+            Printf.printf
+              "jobs=%-3d clients=%-3d %8.1f req/s   p50 %8.2f ms   p99 %8.2f ms   max %8.2f \
+               ms   clean=%b\n\
+               %!"
+              jobs clients report.Report.throughput_rps (1e3 *. q 0.5) (1e3 *. q 0.99)
+              (1e3 *. max_s) (Report.clean report);
+            ( jobs,
+              clients,
+              report,
+              Printf.sprintf
+                "    { \"jobs\": %d, \"clients\": %d, \"requests\": %d, \"clean\": %b, \
+                 \"throughput_rps\": %.2f, \"p50_s\": %.6f, \"p90_s\": %.6f, \"p99_s\": %.6f, \
+                 \"max_s\": %.6f }"
+                jobs clients report.Report.requests (Report.clean report)
+                report.Report.throughput_rps (q 0.5) (q 0.9) (q 0.99) max_s ))
+          client_settings)
+      jobs_settings
+  in
+  let all_clean = List.for_all (fun (_, _, report, _) -> Report.clean report) cells in
+  Printf.printf "\nall cells byte-clean: %b\n" all_clean;
+  let json =
+    Printf.sprintf
+      "{\n  \"bench\": \"serve-scaling\",\n  %s,\n  \"requests_per_client\": %d,\n  \"runs\": \
+       [\n%s\n  ],\n  \"all_clean\": %b\n}\n"
+      (host_json ()) requests_per_client
+      (String.concat ",\n" (List.map (fun (_, _, _, row) -> row) cells))
+      all_clean
+  in
+  let oc = open_out "BENCH_serve.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_serve.json\n%!";
+  if not all_clean then exit 1
+
 (* ----------------------------- driver ----------------------------- *)
 
 let () =
@@ -344,6 +437,7 @@ let () =
     par_scaling (List.filter (fun a -> a <> "--par-scaling") args)
   else if List.mem "--sim-scaling" args then
     sim_scaling (List.filter (fun a -> a <> "--sim-scaling") args)
+  else if List.mem "--serve-scaling" args then serve_scaling ()
   else begin
     let micro = not (List.mem "--no-micro" args) in
     let ids = List.filter (fun a -> a <> "--no-micro") args in

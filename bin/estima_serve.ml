@@ -82,6 +82,30 @@ let socket_arg =
         ~doc:
           "Listen on a Unix domain socket at $(docv) (serving concurrent connections)            instead of stdin/stdout.")
 
+(* HOST:PORT, split at the last ':' so a future bracketed-IPv6 host
+   still has a chance; PORT may be 0 (kernel-assigned, reported on
+   stderr once the listener is bound). *)
+let tcp_conv =
+  let parse s =
+    match String.rindex_opt s ':' with
+    | None -> Error (`Msg (Printf.sprintf "bad TCP address %S (expected HOST:PORT)" s))
+    | Some i -> (
+        let host = String.sub s 0 i and port = String.sub s (i + 1) (String.length s - i - 1) in
+        match int_of_string_opt port with
+        | Some p when p >= 0 && p <= 65535 && host <> "" -> Ok (host, p)
+        | _ -> Error (`Msg (Printf.sprintf "bad TCP address %S (expected HOST:PORT)" s)))
+  in
+  let print ppf (host, port) = Format.fprintf ppf "%s:%d" host port in
+  Arg.conv (parse, print)
+
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some tcp_conv) None
+    & info [ "tcp" ] ~docv:"HOST:PORT"
+        ~doc:
+          "Listen on TCP $(docv) (serving concurrent connections) instead of stdin/stdout.            PORT 0 asks the kernel for a free port; the actually bound address is printed            on stderr either way.  Mutually exclusive with $(b,--socket).")
+
 let max_buffer_arg =
   Arg.(
     value
@@ -129,14 +153,18 @@ let inject_fault_arg =
         ~doc:
           "TESTING ONLY.  Make the predict pipeline misbehave for series named SPEC:            $(docv) is SPEC:raise[:MSG] (raise instead of answering — served as a typed            `internal` error, exit code 5), SPEC:delay:SECONDS (stall before answering) or            SPEC:garbage (serve garbage bytes, bypassing the cache).  Repeatable.")
 
-let serve machine sockets target jobs queue cache timeout_ms socket_path max_buffer max_conns
-    faults store_dir =
+let serve machine sockets target jobs queue cache timeout_ms socket_path tcp_addr max_buffer
+    max_conns faults store_dir =
   if max_buffer < 1 then begin
     prerr_endline (Printf.sprintf "estima_serve: --max-buffer %d: must be >= 1" max_buffer);
     exit 1
   end;
   if max_conns < 1 then begin
     prerr_endline (Printf.sprintf "estima_serve: --max-conns %d: must be >= 1" max_conns);
+    exit 1
+  end;
+  if socket_path <> None && tcp_addr <> None then begin
+    prerr_endline "estima_serve: --socket and --tcp are mutually exclusive";
     exit 1
   end;
   let machine =
@@ -164,11 +192,19 @@ let serve machine sockets target jobs queue cache timeout_ms socket_path max_buf
       Fun.protect
         ~finally:(fun () -> Server.shutdown server)
         (fun () ->
-          match socket_path with
-          | None -> Wire.serve_stdio ~max_buffer_bytes:max_buffer server
-          | Some path ->
+          match (socket_path, tcp_addr) with
+          | Some path, _ ->
               Wire.serve_socket ~max_buffer_bytes:max_buffer ~max_connections:max_conns server
-                ~path)
+                ~path
+          | None, Some (host, port) ->
+              (* The bound address goes to stderr (stdout belongs to the
+                 stdio protocol, and keeping it clean costs nothing):
+                 with PORT 0 this line is how clients learn the port. *)
+              Wire.serve_tcp ~max_buffer_bytes:max_buffer ~max_connections:max_conns
+                ~on_listen:(fun host port ->
+                  Printf.eprintf "estima_serve: listening on %s:%d\n%!" host port)
+                server ~host ~port
+          | None, None -> Wire.serve_stdio ~max_buffer_bytes:max_buffer server)
 
 let cmd =
   let doc = "serve scalability predictions over newline-delimited JSON" in
@@ -189,7 +225,7 @@ let cmd =
     (Cmd.info "estima_serve" ~version:"1.0.0" ~doc ~man)
     Term.(
       const serve $ machine_arg $ sockets_arg $ target_arg $ jobs_arg $ queue_arg $ cache_arg
-      $ timeout_arg $ socket_arg $ max_buffer_arg $ max_conns_arg $ inject_fault_arg
+      $ timeout_arg $ socket_arg $ tcp_arg $ max_buffer_arg $ max_conns_arg $ inject_fault_arg
       $ store_arg)
 
 let () = exit (Cmd.eval cmd)

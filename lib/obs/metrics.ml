@@ -100,6 +100,10 @@ module Histogram = struct
   let sum t = (snapshot t).sum
 
   let quantile t q = snapshot_quantile (snapshot t) q
+
+  let min_value t = (snapshot t).min
+
+  let max_value t = (snapshot t).max
 end
 
 type instrument = Counter of Counter.t | Histogram of Histogram.t
@@ -157,9 +161,13 @@ let render t =
         if s.Histogram.count = 0 then Printf.sprintf "histogram %s count=0" name
         else
           let q p = Histogram.snapshot_quantile s p in
-          Printf.sprintf "histogram %s count=%d sum=%.6g min=%.6g max=%.6g p50=%.6g p90=%.6g p95=%.6g p99=%.6g"
+          (* p50..p99 are bucket upper bounds (clamped to the exact max);
+             p100 is the exact maximum sample tracked under the same
+             lock — the tail a load report must not under-state. *)
+          Printf.sprintf
+            "histogram %s count=%d sum=%.6g min=%.6g max=%.6g p50=%.6g p90=%.6g p95=%.6g p99=%.6g p100=%.17g"
             name s.Histogram.count s.Histogram.sum (q 0.0) (q 1.0) (q 0.5) (q 0.9) (q 0.95)
-            (q 0.99)
+            (q 0.99) s.Histogram.max
   in
   let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) entries in
   String.concat "\n" (List.map line sorted) ^ if sorted = [] then "" else "\n"

@@ -47,6 +47,17 @@ module Histogram : sig
       maximum.  [nan] while the histogram is empty.
       Raises [Invalid_argument] outside [0, 1]. *)
 
+  val min_value : t -> float
+  (** The exact smallest observed sample — not a bucket boundary.
+      [infinity] while the histogram is empty. *)
+
+  val max_value : t -> float
+  (** The exact largest observed sample (p100) — not a bucket upper
+      bound, so tail-latency reports built on it can never under- or
+      over-state the maximum.  Tracked under the same single lock as the
+      bucket counts ({!snapshot} captures all of them atomically).
+      [neg_infinity] while the histogram is empty. *)
+
   (** A consistent point-in-time capture of the histogram state, taken
       under a single lock acquisition.  Derive anything that combines
       count, sum and quantiles — a rendered metrics line, an assertion in
@@ -88,7 +99,10 @@ val render : t -> string
 
     {v
 counter estima_requests_total 1000
-histogram estima_latency_seconds count=1000 sum=1.234 min=0.0001 max=0.01 p50=0.00042 p90=0.001 p95=0.0013 p99=0.0024
+histogram estima_latency_seconds count=1000 sum=1.234 min=0.0001 max=0.01 p50=0.00042 p90=0.001 p95=0.0013 p99=0.0024 p100=0.01
     v}
 
-    Floats are printed with [%.6g]. *)
+    Floats are printed with [%.6g], except [p100] — the exact maximum
+    sample, printed with [%.17g] so it round-trips bit-for-bit (the
+    p50..p99 quantiles are bucket upper bounds clamped to it; p100 is
+    the one number on the line that is never an approximation). *)

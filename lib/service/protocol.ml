@@ -114,6 +114,34 @@ type confidence = {
   verdict_line : string;
 }
 
+(* The one mapping from the Api's confidence estimate to its wire form,
+   shared by the server (rendering responses) and the load harness
+   (computing the exact bytes a response must carry) — one construction
+   site, so the two cannot drift. *)
+let confidence_of_api prediction (c : Estima.Api.Confidence.t) =
+  let module C = Estima.Api.Confidence in
+  let bands f = Array.to_list (Array.map f c.C.bands) in
+  {
+    level = c.C.level;
+    resamples = c.C.resamples;
+    succeeded = c.C.succeeded;
+    seed = c.C.seed;
+    scaling_fraction = c.C.scaling_fraction;
+    verdict =
+      (match c.C.verdict with
+      | C.Scales -> "scales"
+      | C.Stops_at _ -> "stops"
+      | C.Uncertain -> "uncertain");
+    stop_lo = Option.map fst c.C.stop_interval;
+    stop_hi = Option.map snd c.C.stop_interval;
+    p_lo = bands (fun b -> b.C.lo);
+    p50 = bands (fun b -> b.C.median);
+    p_hi = bands (fun b -> b.C.hi);
+    header = Estima.Api.confidence_rows_header c;
+    rows = Estima.Api.render_confidence_rows prediction c;
+    verdict_line = Estima.Api.render_confidence_verdict c;
+  }
+
 let confidence_member c =
   let opt_int = function None -> Json.Null | Some n -> Json.Int n in
   let floats xs = Json.List (List.map (fun x -> Json.Float x) xs) in

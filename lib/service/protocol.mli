@@ -122,6 +122,13 @@ type confidence = {
 (** The wire form of one {!Estima.Api.Confidence.t}, pre-rendered by the
     server so cache hits replay exact bytes. *)
 
+val confidence_of_api : Estima.Predictor.t -> Estima.Api.Confidence.t -> confidence
+(** The canonical mapping from an Api confidence estimate (and the
+    prediction it annotates) to its wire form — the single construction
+    site shared by {!Server} and the load harness ({!Estima_load}), so a
+    response computed independently through {!Estima.Api} renders to the
+    exact bytes the server puts on the wire. *)
+
 val predict_response :
   id:Json.t ->
   v:int ->

@@ -177,36 +177,12 @@ let resolve_series t ~(file : string option) ~csv ~workload ~spec_name =
           | Some name -> collect_workload t name
           | None -> assert false (* Protocol.parse_request rejects this shape *)))
 
-let confidence_block prediction (c : Api.Confidence.t) =
-  let module C = Api.Confidence in
-  let bands f = Array.to_list (Array.map f c.C.bands) in
-  {
-    Protocol.level = c.C.level;
-    resamples = c.C.resamples;
-    succeeded = c.C.succeeded;
-    seed = c.C.seed;
-    scaling_fraction = c.C.scaling_fraction;
-    verdict =
-      (match c.C.verdict with
-      | C.Scales -> "scales"
-      | C.Stops_at _ -> "stops"
-      | C.Uncertain -> "uncertain");
-    stop_lo = Option.map fst c.C.stop_interval;
-    stop_hi = Option.map snd c.C.stop_interval;
-    p_lo = bands (fun b -> b.C.lo);
-    p50 = bands (fun b -> b.C.median);
-    p_hi = bands (fun b -> b.C.hi);
-    header = Api.confidence_rows_header c;
-    rows = Api.render_confidence_rows prediction c;
-    verdict_line = Api.render_confidence_verdict c;
-  }
-
 let render prediction confidence =
   {
     summary = Api.render_summary prediction;
     rows = Api.render_rows prediction;
     verdict = Api.render_verdict prediction;
-    confidence = Option.map (confidence_block prediction) confidence;
+    confidence = Option.map (Protocol.confidence_of_api prediction) confidence;
   }
 
 let respond_rendered ~id ~v (rendered : rendered) =

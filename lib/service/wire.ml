@@ -131,14 +131,16 @@ type connection = { fd : Unix.file_descr; stream : stream; mutable closed : bool
 
 let default_max_connections = 64
 
-let serve_socket ?(max_buffer_bytes = default_max_buffer_bytes)
-    ?(max_connections = default_max_connections) server ~path =
+(* The listener loop shared by the Unix-socket and TCP transports: only
+   how the listening socket is created, what to do to a freshly accepted
+   fd ([on_accept], e.g. TCP_NODELAY) and what to clean up afterwards
+   ([cleanup], e.g. unlinking the socket file) differ — the select loop,
+   connection cap, frame shedding and the graceful drain are one code
+   path, so every invariant proven for one transport holds for the
+   other. *)
+let serve_listener ~max_buffer_bytes ~max_connections ~on_accept ~cleanup server listener =
   (* A peer hanging up mid-write must surface as EPIPE, not kill us. *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try Unix.unlink path with Unix.Unix_error (Unix.ENOENT, _, _) -> ());
-  Unix.bind listener (Unix.ADDR_UNIX path);
-  Unix.listen listener 16;
   let connections : (Unix.file_descr, connection) Hashtbl.t = Hashtbl.create 8 in
   let close_connection conn =
     if not conn.closed then begin
@@ -198,9 +200,11 @@ let serve_socket ?(max_buffer_bytes = default_max_buffer_bytes)
        with Unix.Unix_error _ -> ());
       try Unix.close client with Unix.Unix_error _ -> ()
     end
-    else
+    else begin
+      (try on_accept client with Unix.Unix_error _ -> ());
       Hashtbl.replace connections client
         { fd = client; stream = new_stream (); closed = false }
+    end
   in
   while not !stop do
     let fds = listener :: Hashtbl.fold (fun fd _ acc -> fd :: acc) connections [] in
@@ -289,4 +293,47 @@ let serve_socket ?(max_buffer_bytes = default_max_buffer_bytes)
       close_connection conn)
     remaining;
   (try Unix.close listener with Unix.Unix_error _ -> ());
-  try Unix.unlink path with Unix.Unix_error _ -> ()
+  cleanup ()
+
+let serve_socket ?(max_buffer_bytes = default_max_buffer_bytes)
+    ?(max_connections = default_max_connections) server ~path =
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.unlink path with Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  Unix.bind listener (Unix.ADDR_UNIX path);
+  Unix.listen listener 16;
+  serve_listener ~max_buffer_bytes ~max_connections
+    ~on_accept:(fun _ -> ())
+    ~cleanup:(fun () -> try Unix.unlink path with Unix.Unix_error _ -> ())
+    server listener
+
+let resolve_host host =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = addrs; _ } when Array.length addrs > 0 -> addrs.(0)
+      | _ | (exception Not_found) ->
+          invalid_arg (Printf.sprintf "Wire.serve_tcp: cannot resolve host %S" host))
+
+let serve_tcp ?(max_buffer_bytes = default_max_buffer_bytes)
+    ?(max_connections = default_max_connections) ?(on_listen = fun _ _ -> ()) server ~host ~port =
+  let addr = resolve_host host in
+  let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.setsockopt listener Unix.SO_REUSEADDR true with Unix.Unix_error _ -> ());
+  (try Unix.bind listener (Unix.ADDR_INET (addr, port))
+   with exn ->
+     (try Unix.close listener with Unix.Unix_error _ -> ());
+     raise exn);
+  Unix.listen listener 16;
+  (* With port 0 the kernel picked one: report the bound address so the
+     operator (or a test harness) can connect. *)
+  (match Unix.getsockname listener with
+  | Unix.ADDR_INET (bound, bound_port) -> on_listen (Unix.string_of_inet_addr bound) bound_port
+  | _ -> ());
+  serve_listener ~max_buffer_bytes ~max_connections
+    ~on_accept:(fun client ->
+      (* Latency work over localhost must not pay delayed-ack/Nagle
+         stalls: responses are one line, flush them immediately. *)
+      Unix.setsockopt client Unix.TCP_NODELAY true)
+    ~cleanup:(fun () -> ())
+    server listener

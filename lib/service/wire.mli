@@ -44,6 +44,25 @@ val serve_socket :
     its connection is closed.  The socket file is removed on the way
     out. *)
 
+val serve_tcp :
+  ?max_buffer_bytes:int ->
+  ?max_connections:int ->
+  ?on_listen:(string -> int -> unit) ->
+  Server.t ->
+  host:string ->
+  port:int ->
+  unit
+(** Listen on TCP [host:port] ([host] a dotted quad or resolvable name;
+    [port = 0] lets the kernel pick a free port).  Identical semantics
+    to {!serve_socket} — the select loop, per-connection buffer cap,
+    connection cap, frame shedding and graceful shutdown drain are the
+    same code path — plus [SO_REUSEADDR] on the listener and
+    [TCP_NODELAY] on accepted connections (one-line responses must not
+    wait out Nagle).  [on_listen] is called once with the actually bound
+    address and port before the first accept, which is how an operator
+    or test harness learns the port when [port = 0] was asked.
+    Raises [Invalid_argument] when [host] does not resolve. *)
+
 (** {1 Framing internals, exposed for tests} *)
 
 val split_lines : Buffer.t -> string list

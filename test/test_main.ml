@@ -18,6 +18,8 @@ let () =
       ("service", Test_service.suite);
       ("store", Test_store.suite);
       ("faults", Test_faults.suite);
+      ("wire-tcp", Test_wire_tcp.suite);
+      ("load", Test_load.suite);
       ("exit-codes", Test_exit_codes.suite);
       ("validate", Test_validate.suite);
       ("properties", Test_properties.suite);

@@ -223,6 +223,44 @@ let test_metrics_histogram_deterministic () =
   Alcotest.(check bool) "p50 near the true median" true
     (q50 >= true_median && q50 <= true_median *. 1.34)
 
+let test_metrics_histogram_exact_max () =
+  (* The maximum (p100) is the exact largest sample, not a bucket upper
+     bound — also under concurrent observers, where it must come from
+     the same single-lock snapshot as the counts. *)
+  let m = Estima_obs.Metrics.create () in
+  let h = Estima_obs.Metrics.histogram m "lat" in
+  (* 0.00123 falls strictly inside a log bucket: any bucket-bound
+     answer would differ from it. *)
+  let true_max = 0.00123 and true_min = 3.7e-7 in
+  let samples domain =
+    List.init 250 (fun i -> true_min +. (1e-7 *. float_of_int ((i * 31) + domain)))
+  in
+  let domains =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            List.iter (Estima_obs.Metrics.Histogram.observe h) (samples d)))
+  in
+  List.iter Domain.join domains;
+  Estima_obs.Metrics.Histogram.observe h true_max;
+  Estima_obs.Metrics.Histogram.observe h true_min;
+  Alcotest.(check (float 0.0)) "exact max" true_max (Estima_obs.Metrics.Histogram.max_value h);
+  Alcotest.(check (float 0.0)) "exact min" true_min (Estima_obs.Metrics.Histogram.min_value h);
+  Alcotest.(check (float 0.0)) "q1 is the exact max" true_max
+    (Estima_obs.Metrics.Histogram.quantile h 1.0);
+  let s = Estima_obs.Metrics.Histogram.snapshot h in
+  Alcotest.(check int) "snapshot count" 1002 s.Estima_obs.Metrics.Histogram.count;
+  Alcotest.(check (float 0.0)) "snapshot max" true_max s.Estima_obs.Metrics.Histogram.max;
+  Alcotest.(check (float 0.0)) "snapshot quantile clamps to max" true_max
+    (Estima_obs.Metrics.Histogram.snapshot_quantile s 1.0);
+  Alcotest.(check bool) "render carries the exact p100" true
+    (contains ~sub:(Printf.sprintf "p100=%.17g" true_max) (Estima_obs.Metrics.render m));
+  (* Empty histograms stay well-defined. *)
+  let empty = Estima_obs.Metrics.histogram (Estima_obs.Metrics.create ()) "e" in
+  Alcotest.(check (float 0.0)) "empty max" neg_infinity
+    (Estima_obs.Metrics.Histogram.max_value empty);
+  Alcotest.(check (float 0.0)) "empty min" infinity
+    (Estima_obs.Metrics.Histogram.min_value empty)
+
 (* ------------------------------------------------------------------ *)
 (* Fit_cache                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -736,6 +774,7 @@ let suite =
     QCheck_alcotest.to_alcotest prop_json_print_fixpoint;
     ("metrics counters", `Quick, test_metrics_counters);
     ("metrics histogram is order-independent", `Quick, test_metrics_histogram_deterministic);
+    ("metrics histogram tracks the exact max (p100)", `Quick, test_metrics_histogram_exact_max);
     ("fit cache is LRU", `Quick, test_cache_lru);
     ("server rejects unparseable requests", `Quick, test_server_parse_error);
     ("server cache hit/miss counters and identity", `Quick, test_server_cache_and_identity);
